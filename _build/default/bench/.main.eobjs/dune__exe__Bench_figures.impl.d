@@ -1,0 +1,1 @@
+bench/bench_figures.ml: Driver Factories Harness List Mempool Printf Report Rr Set_ops String Structs Workload

@@ -1,0 +1,1 @@
+bench/bench_micro.ml: Analyze Atomic Bechamel Benchmark Domain Hashtbl Instance Int List Measure Printf Rr Staged Test Time Tm Toolkit

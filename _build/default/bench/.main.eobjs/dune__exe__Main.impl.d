@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_figures Bench_micro List Printf String Sys Tm

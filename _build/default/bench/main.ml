@@ -1,0 +1,111 @@
+(* Benchmark entry point. Default run: every figure in quick mode plus the
+   reclamation and micro benches, printed as text tables. See README for
+   the figure-to-paper mapping; EXPERIMENTS.md records a reference run. *)
+
+let parse_threads s =
+  try
+    let ts = String.split_on_char ',' s |> List.map int_of_string in
+    if ts = [] || List.exists (fun t -> t < 1) ts then None else Some ts
+  with Failure _ -> None
+
+let usage () =
+  print_string
+    "usage: main.exe [command] [options]\n\n\
+     commands:\n\
+    \  all            every figure + reclaim + ablation + micro (default)\n\
+    \  figure N       regenerate Figure N of the paper (N in 2..7, or 'all')\n\
+    \  reclaim        reclamation footprint comparison\n\
+    \  ablation       design-choice ablations (scatter, split unlink, ...)\n\
+    \  micro          Bechamel per-operation latency benchmarks\n\n\
+     options:\n\
+    \  --full         paper-scale parameters (50k ops/thread, 21-bit trees)\n\
+    \  --quick        reduced parameters (default)\n\
+    \  --verify       run the serialization checker on every benchmark run\n\
+    \  --aborts       also print abort-rate tables per panel\n\
+    \  --threads LIST comma-separated thread counts (default 1,2,4,8)\n\
+    \  --csv DIR      also write CSV series under DIR\n"
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = ref true in
+  let verify = ref false in
+  let aborts = ref false in
+  let csv_dir = ref None in
+  let threads = ref [ 1; 2; 4; 8 ] in
+  let command = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--full" :: rest ->
+        quick := false;
+        parse rest
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--verify" :: rest ->
+        verify := true;
+        parse rest
+    | "--aborts" :: rest ->
+        aborts := true;
+        parse rest
+    | "--csv" :: dir :: rest ->
+        csv_dir := Some dir;
+        parse rest
+    | "--threads" :: spec :: rest -> (
+        match parse_threads spec with
+        | Some ts ->
+            threads := ts;
+            parse rest
+        | None ->
+            prerr_endline "bad --threads";
+            exit 2)
+    | ("--help" | "-h") :: _ ->
+        usage ();
+        exit 0
+    | arg :: rest ->
+        command := !command @ [ arg ];
+        parse rest
+  in
+  parse args;
+  let p =
+    {
+      Bench_figures.quick = !quick;
+      csv_dir = !csv_dir;
+      verify = !verify;
+      aborts = !aborts;
+      threads_list = !threads;
+    }
+  in
+  let figure = function
+    | "2" -> Bench_figures.figure_2 p
+    | "3" -> Bench_figures.figure_3 p
+    | "4" -> Bench_figures.figure_4 p
+    | "5" -> Bench_figures.figure_5 p
+    | "6" -> Bench_figures.figure_6 p
+    | "7" -> Bench_figures.figure_7 p
+    | "all" ->
+        List.iter
+          (fun f -> f p)
+          Bench_figures.
+            [ figure_2; figure_3; figure_4; figure_5; figure_6; figure_7 ]
+    | n ->
+        Printf.eprintf "unknown figure %S\n" n;
+        exit 2
+  in
+  Tm.Thread.with_registered (fun _ ->
+      match !command with
+      | [] | [ "all" ] ->
+          Printf.printf
+            "hohtx benchmarks (%s mode; threads = %s; 1 run per point)\n"
+            (if !quick then "quick" else "full")
+            (String.concat "," (List.map string_of_int !threads));
+          figure "all";
+          Bench_figures.reclaim_bench p;
+          Bench_figures.ablation_bench p;
+          Bench_micro.run ()
+      | [ "figure"; n ] -> figure n
+      | [ "reclaim" ] -> Bench_figures.reclaim_bench p
+      | [ "ablation" ] -> Bench_figures.ablation_bench p
+      | [ "micro" ] -> Bench_micro.run ()
+      | _ ->
+          usage ();
+          exit 2)

@@ -1,0 +1,124 @@
+(* Command-line driver for a single benchmark configuration: pick a data
+   structure family, a reservation/reclamation mode, and a workload, run
+   it, and print throughput, abort statistics, reclamation metrics, and the
+   correctness verdict (including the commit-stamp serialization check when
+   --verify is set). *)
+
+open Cmdliner
+open Harness
+
+let family_conv =
+  Arg.enum
+    [ ("slist", `Slist); ("dlist", `Dlist); ("bst-int", `Bst_int);
+      ("bst-ext", `Bst_ext); ("lf-list", `Lf_list); ("nm-tree", `Nm_tree) ]
+
+let mode_conv =
+  let parse s =
+    match String.uppercase_ascii s with
+    | "HTM" -> Ok Structs.Mode.Htm
+    | "TMHP" -> Ok Structs.Mode.Tmhp
+    | "REF" -> Ok Structs.Mode.Ref
+    | up -> (
+        match Rr.by_name up with
+        | Some m -> Ok (Structs.Mode.Rr_kind m)
+        | None ->
+            Error
+              (`Msg
+                (Printf.sprintf
+                   "unknown mode %S (want RR-FA/RR-DM/RR-SA/RR-XO/RR-SO/RR-V/HTM/TMHP/REF)"
+                   s)))
+  in
+  Arg.conv (parse, fun ppf m -> Fmt.string ppf (Structs.Mode.kind_name m))
+
+let run family mode window scatter key_bits lookup_pct threads ops verify
+    strategy =
+  let strategy =
+    match strategy with
+    | `Arena -> Mempool.Thread_arena
+    | `Size_class -> Mempool.Size_class
+  in
+  let factory =
+    match family with
+    | `Slist -> Factories.slist ~window ~scatter ~strategy mode
+    | `Dlist -> Factories.dlist ~window ~scatter ~strategy mode
+    | `Bst_int -> Factories.bst_int ~window ~scatter ~strategy mode
+    | `Bst_ext -> Factories.bst_ext ~window ~scatter ~strategy mode
+    | `Lf_list -> (
+        match mode with
+        | Structs.Mode.Tmhp -> Factories.lf_list `Hp
+        | _ -> Factories.lf_list `Leak)
+    | `Nm_tree -> Factories.nm_tree ()
+  in
+  Tm.Thread.with_registered (fun _ ->
+      let spec =
+        Workload.spec ~key_bits ~lookup_pct ~threads ~ops_per_thread:ops ()
+      in
+      let h = factory.Factories.make () in
+      let r = Driver.run ~verify spec h in
+      Format.printf "%a@." Driver.pp_result r;
+      let opt name = function
+        | Some v -> Format.printf "  %s: %d@." name v
+        | None -> ()
+      in
+      opt "live nodes after drain" r.Driver.pool_live;
+      opt "peak deferred backlog" r.Driver.max_backlog;
+      opt "leaked nodes" r.Driver.leaked;
+      match r.Driver.verdict with Ok () -> 0 | Error _ -> 1)
+
+let cmd =
+  let family =
+    Arg.(
+      value
+      & opt family_conv `Slist
+      & info [ "f"; "family" ] ~doc:"Data structure family: $(docv)."
+          ~docv:"slist|dlist|bst-int|bst-ext|lf-list|nm-tree")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt mode_conv (Structs.Mode.Rr_kind (module Rr.V))
+      & info [ "m"; "mode" ]
+          ~doc:"Reservation/reclamation mode: RR-FA, RR-DM, RR-SA, RR-XO, \
+                RR-SO, RR-V, HTM, TMHP, or REF.")
+  in
+  let window =
+    Arg.(value & opt int 8 & info [ "w"; "window" ] ~doc:"Nodes per transaction.")
+  in
+  let scatter =
+    Arg.(value & opt bool true & info [ "scatter" ] ~doc:"Scatter first window.")
+  in
+  let key_bits =
+    Arg.(value & opt int 8 & info [ "b"; "key-bits" ] ~doc:"Key range 2^BITS.")
+  in
+  let lookup_pct =
+    Arg.(value & opt int 33 & info [ "l"; "lookups" ] ~doc:"Lookup percentage.")
+  in
+  let threads =
+    Arg.(value & opt int 4 & info [ "t"; "threads" ] ~doc:"Worker domains.")
+  in
+  let ops =
+    Arg.(value & opt int 10_000 & info [ "n"; "ops" ] ~doc:"Ops per thread.")
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:"Log every operation and check commit-stamp serializability.")
+  in
+  let strategy =
+    Arg.(
+      value
+      & opt (enum [ ("arena", `Arena); ("size-class", `Size_class) ]) `Arena
+      & info [ "allocator" ] ~doc:"Pool placement strategy.")
+  in
+  let term =
+    Term.(
+      const run $ family $ mode $ window $ scatter $ key_bits $ lookup_pct
+      $ threads $ ops $ verify $ strategy)
+  in
+  Cmd.v
+    (Cmd.info "hohtx-bench" ~version:"1.0"
+       ~doc:"Run one hand-over-hand-transactions benchmark configuration")
+    term
+
+let () = exit (Cmd.eval' cmd)

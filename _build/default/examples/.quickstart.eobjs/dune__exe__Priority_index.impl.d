@@ -1,0 +1,1 @@
+examples/priority_index.ml: Domain List Printf Rr Structs Tm Unix

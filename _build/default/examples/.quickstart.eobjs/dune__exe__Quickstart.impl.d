@@ -1,0 +1,1 @@
+examples/quickstart.ml: Domain List Mempool Printf Rr Structs Tm

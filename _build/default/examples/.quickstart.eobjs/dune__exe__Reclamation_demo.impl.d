@@ -1,0 +1,1 @@
+examples/reclamation_demo.ml: Driver Factories Harness List Printf Rr Structs Tm Workload

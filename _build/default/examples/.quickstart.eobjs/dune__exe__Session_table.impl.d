@@ -1,0 +1,1 @@
+examples/session_table.ml: Atomic Domain List Mempool Printf Rr Structs Tm

@@ -1,0 +1,51 @@
+(* Side-by-side demonstration of the reclamation strategies the paper
+   compares: the same churn workload runs over the singly linked list with
+   revocable reservations (immediate, precise), transactional hazard
+   pointers (deferred, batched), reference counting, and the lock-free
+   baselines (hazard pointers / leaky), and this program reports each
+   strategy's memory behaviour: live nodes vs. set size, peak deferred
+   backlog, and total leak.
+
+   Run with: dune exec examples/reclamation_demo.exe *)
+
+open Harness
+
+let spec =
+  Workload.spec ~key_bits:7 ~lookup_pct:10 ~threads:4 ~ops_per_thread:8_000 ()
+
+let contenders =
+  [
+    Factories.slist ~window:8 (Structs.Mode.Rr_kind (module Rr.V));
+    Factories.slist ~window:8 (Structs.Mode.Rr_kind (module Rr.Fa));
+    Factories.slist ~window:8 Structs.Mode.Tmhp;
+    Factories.slist ~window:8 Structs.Mode.Ebr;
+    Factories.slist ~window:8 Structs.Mode.Ref;
+    Factories.lf_list `Hp;
+    Factories.lf_list `Leak;
+  ]
+
+let () =
+  Tm.Thread.with_registered (fun _ ->
+      Printf.printf "churn workload: %d threads x %d ops, %d-key range\n\n"
+        spec.Workload.threads spec.Workload.ops_per_thread
+        (Workload.key_range spec);
+      Printf.printf "%-8s %10s %10s %12s %12s %10s\n" "impl" "ops/s" "size"
+        "live nodes" "peak backlog" "leaked";
+      List.iter
+        (fun f ->
+          let h = f.Factories.make () in
+          let r = Driver.run ~verify:false spec h in
+          let fmt = function Some v -> string_of_int v | None -> "-" in
+          Printf.printf "%-8s %10.0f %10d %12s %12s %10s\n" r.Driver.impl
+            r.Driver.throughput r.Driver.size_after
+            (fmt r.Driver.pool_live)
+            (fmt r.Driver.max_backlog)
+            (fmt r.Driver.leaked))
+        contenders;
+      print_endline
+        "\nReading the table: with revocable reservations (RR-*), live\n\
+         nodes equal the set size the moment workers stop — reclamation is\n\
+         immediate and precise. TMHP and LFHP defer frees (peak backlog\n\
+         shows how far reclamation lagged; their lists drain only at a\n\
+         scan). LFLeak never reclaims: 'leaked' counts unlinked nodes that\n\
+         could never be returned to the allocator.")

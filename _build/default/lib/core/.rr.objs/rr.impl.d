@@ -1,0 +1,1 @@
+lib/core/rr.ml: Hoh List Rr_config Rr_dm Rr_fa Rr_intf Rr_sa Rr_so Rr_spec_model Rr_v Rr_xo Tm

@@ -1,0 +1,1 @@
+lib/core/rr.mli: Hoh Rr_config Rr_intf Rr_spec_model Tm

@@ -1,0 +1,1 @@
+lib/core/hoh.ml: Array Rr_intf Tm

@@ -1,0 +1,1 @@
+lib/core/hoh.mli: Rr_intf Tm

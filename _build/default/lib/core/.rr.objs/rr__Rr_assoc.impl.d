@@ -1,0 +1,1 @@
+lib/core/rr_assoc.ml: Array Rr_config Tm

@@ -1,0 +1,1 @@
+lib/core/rr_config.ml:

@@ -1,0 +1,1 @@
+lib/core/rr_dm.ml: Rr_assoc Rr_config

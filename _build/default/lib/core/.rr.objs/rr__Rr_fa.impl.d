@@ -1,0 +1,1 @@
+lib/core/rr_fa.ml: Array Rr_config Tm

@@ -1,0 +1,1 @@
+lib/core/rr_intf.ml: Rr_config Tm

@@ -1,0 +1,1 @@
+lib/core/rr_own.ml: Array Rr_config Tm

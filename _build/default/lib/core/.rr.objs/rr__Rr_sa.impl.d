@@ -1,0 +1,1 @@
+lib/core/rr_sa.ml: Rr_assoc Rr_config

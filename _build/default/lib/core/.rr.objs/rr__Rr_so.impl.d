@@ -1,0 +1,1 @@
+lib/core/rr_so.ml: Rr_config Rr_own

@@ -1,0 +1,1 @@
+lib/core/rr_spec_model.ml: Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/core/rr_v.ml: Array Rr_config Tm

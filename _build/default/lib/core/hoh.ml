@@ -1,0 +1,60 @@
+type ('r, 'a) outcome = Finish of 'a | Hand_off of 'r
+
+let run ~rr ?max_attempts step =
+  let reserved = ref None in
+  let rec loop last =
+    let res =
+      Tm.atomic_stamped ?max_attempts (fun txn ->
+          rr.Rr_intf.register txn;
+          let start =
+            match !reserved with
+            | None -> None
+            | Some r -> rr.Rr_intf.get txn r
+          in
+          match step txn ~start with
+          | Finish v ->
+              rr.Rr_intf.release_all txn;
+              Finish v
+          | Hand_off r ->
+              rr.Rr_intf.release_all txn;
+              rr.Rr_intf.reserve txn r;
+              Hand_off r)
+    in
+    ignore last;
+    match res.Tm.value with
+    | Finish v ->
+        reserved := None;
+        (v, res.Tm.stamp)
+    | Hand_off r ->
+        reserved := Some r;
+        loop res.Tm.stamp
+  in
+  loop 0
+
+let apply ~rr ?max_attempts step = fst (run ~rr ?max_attempts step)
+let apply_stamped ~rr ?max_attempts step = run ~rr ?max_attempts step
+
+module Window = struct
+  type t = { w : int; scatter : bool; seeds : int array }
+
+  let create ?(scatter = true) w =
+    if w < 1 then invalid_arg "Hoh.Window.create: w < 1";
+    {
+      w;
+      scatter;
+      seeds = Array.init Tm.Thread.max_threads (fun i -> (i * 7919) + 17);
+    }
+
+  let size t = t.w
+
+  let first_budget t ~thread =
+    if not t.scatter then t.w
+    else begin
+      let s = t.seeds.(thread) in
+      let s = s lxor (s lsl 13) in
+      let s = s lxor (s lsr 7) in
+      let s = s lxor (s lsl 17) in
+      t.seeds.(thread) <- s;
+      1 + (s land max_int) mod t.w
+    end
+end

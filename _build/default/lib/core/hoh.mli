@@ -1,0 +1,54 @@
+(** The hand-over-hand transaction engine (the skeleton of the paper's
+    Listing 5 [Apply]).
+
+    An operation is a chain of transactions. Each transaction receives the
+    validated hand-off point of its predecessor ([start = Some node] if the
+    reservation survived, [None] if it was revoked or this is the first
+    transaction — in which case the traversal begins at the root/head) and
+    either finishes the operation or hands off by naming the node to
+    reserve for the next transaction. The engine performs the
+    register / get / release-all / reserve choreography so the data
+    structures contain only traversal logic. *)
+
+type ('r, 'a) outcome =
+  | Finish of 'a  (** operation complete; release reservations and commit *)
+  | Hand_off of 'r
+      (** commit this window, reserving the given node as the next start *)
+
+val apply :
+  rr:'r Rr_intf.ops ->
+  ?max_attempts:int ->
+  (Tm.txn -> start:'r option -> ('r, 'a) outcome) ->
+  'a
+(** [apply ~rr step] runs [step] in successive transactions until it
+    finishes. If an attempt aborts, [step] re-runs in a fresh transaction
+    with the reservation re-checked; if the reservation was revoked
+    meanwhile, [start] is [None] and the step must restart from the
+    beginning of the structure. *)
+
+val apply_stamped :
+  rr:'r Rr_intf.ops ->
+  ?max_attempts:int ->
+  (Tm.txn -> start:'r option -> ('r, 'a) outcome) ->
+  'a * int
+(** Like {!apply} but also returns the commit stamp of the {e final}
+    transaction — the operation's linearization point, used by the
+    serialization checker. *)
+
+(** Per-thread window budgets with the paper's [scatter] optimization: the
+    first window of an operation spans a random 1..W nodes so that threads
+    starting together do not all try to reserve the same node; subsequent
+    windows span exactly W. *)
+module Window : sig
+  type t
+
+  val create : ?scatter:bool -> int -> t
+  (** [create w] with [w >= 1]; [scatter] defaults to [true]. *)
+
+  val size : t -> int
+
+  val first_budget : t -> thread:int -> int
+  (** Budget for an operation's first window: uniform in [1..W] when
+      scattering, else [W]. Uses a per-thread generator, so it is safe to
+      call concurrently. *)
+end

@@ -1,0 +1,38 @@
+module Config = Rr_config
+module Spec_model = Rr_spec_model
+module Hoh = Hoh
+
+module type S = Rr_intf.S
+
+type 'r ops = 'r Rr_intf.ops = {
+  name : string;
+  strict : bool;
+  register : Tm.txn -> unit;
+  reserve : Tm.txn -> 'r -> unit;
+  release : Tm.txn -> 'r -> unit;
+  release_all : Tm.txn -> unit;
+  get : Tm.txn -> 'r -> 'r option;
+  revoke : Tm.txn -> 'r -> unit;
+}
+
+let instantiate = Rr_intf.instantiate
+
+module Fa : S = Rr_fa
+module Dm : S = Rr_dm
+module Sa : S = Rr_sa
+module Xo : S = Rr_xo
+module So : S = Rr_so
+module V : S = Rr_v
+
+let all =
+  [
+    ("RR-FA", (module Fa : S));
+    ("RR-DM", (module Dm : S));
+    ("RR-SA", (module Sa : S));
+    ("RR-XO", (module Xo : S));
+    ("RR-SO", (module So : S));
+    ("RR-V", (module V : S));
+  ]
+
+let by_name name =
+  List.assoc_opt name all

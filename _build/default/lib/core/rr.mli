@@ -1,0 +1,63 @@
+(** Revocable reservations — the paper's core contribution.
+
+    A revocable reservation object lets a transaction reserve a reference
+    (a node address) so a {e later} transaction by the same thread can pick
+    up where it left off, while letting any other transaction revoke all
+    reservations on a reference so its memory can be reclaimed immediately.
+    See {!Rr_intf.S} for the contract and the six implementations below for
+    the paper's design-space exploration (Section 3). *)
+
+module Config = Rr_config
+module Spec_model = Rr_spec_model
+module Hoh = Hoh
+
+module type S = Rr_intf.S
+
+(** A runtime handle for one implementation at a concrete reference type
+    (see {!Rr_intf.ops}). *)
+type 'r ops = 'r Rr_intf.ops = {
+  name : string;
+  strict : bool;
+  register : Tm.txn -> unit;
+  reserve : Tm.txn -> 'r -> unit;
+  release : Tm.txn -> 'r -> unit;
+  release_all : Tm.txn -> unit;
+  get : Tm.txn -> 'r -> 'r option;
+  revoke : Tm.txn -> 'r -> unit;
+}
+
+val instantiate :
+  (module S) ->
+  ?config:Config.t ->
+  hash:('r -> int) ->
+  equal:('r -> 'r -> bool) ->
+  unit ->
+  'r ops
+
+(** The three strict implementations (cache-shaped; O(T)-ish [Revoke]). *)
+
+module Fa : S
+(** Fully associative: per-thread nodes on one list (Listing 2). *)
+
+module Dm : S
+(** Direct mapped: per-thread cells in hashed bucket lists. *)
+
+module Sa : S
+(** Set associative: [A] bucket arrays, threads partitioned across them. *)
+
+(** The three relaxed implementations (O(1) or O(A) [Revoke]; spurious
+    drops allowed). *)
+
+module Xo : S
+(** Exclusive ownership: bucket -> owning thread id (Listing 3). *)
+
+module So : S
+(** Shared ownership: [A] ownership arrays. *)
+
+module V : S
+(** Versioned: bucket -> counter, incremented by [Revoke] (Listing 4). *)
+
+val all : (string * (module S)) list
+(** All six, keyed by their paper names ("RR-FA" ... "RR-V"). *)
+
+val by_name : string -> (module S) option

@@ -1,0 +1,143 @@
+(** Shared core of RR-DM (direct mapped) and RR-SA (set associative).
+
+    Reservations live in per-thread cells that are linked, while active,
+    into a doubly linked bucket list selected by hashing the reference; the
+    paper's RR-DM is the one-way special case and RR-SA uses [A] ways with
+    each thread assigned to one way, so concurrent [Reserve]/[Release] by
+    different threads rarely touch the same list. [Revoke] walks the bucket
+    for the reference's hash in {e every} way. Each bucket starts with a
+    sentinel cell to decouple revokers from inserters (a paper-noted
+    contention optimization), and [Release] can optionally defer unlinking
+    to the next [Reserve] ({!Rr_config.t.dm_eager_unlink} = false). *)
+
+type 'r cell = {
+  value : 'r option Tm.tvar;
+  prev : 'r cell option Tm.tvar;  (** [Some _] iff linked into a bucket *)
+  next : 'r cell option Tm.tvar;
+}
+
+type 'r t = {
+  hash : 'r -> int;
+  equal : 'r -> 'r -> bool;
+  k : int;
+  ways : int;
+  buckets : int;
+  eager_unlink : bool;
+  table : 'r cell array array;  (** [ways][buckets] sentinels *)
+  mine : 'r cell array option Tm.tvar array;  (** per-thread cells *)
+}
+
+let fresh_cell () =
+  { value = Tm.tvar None; prev = Tm.tvar None; next = Tm.tvar None }
+
+let create_t ~ways ~config ~hash ~equal =
+  Rr_config.validate config;
+  if ways < 1 then invalid_arg "Rr_assoc: ways < 1";
+  {
+    hash;
+    equal;
+    k = config.Rr_config.slots_per_thread;
+    ways;
+    buckets = config.Rr_config.buckets;
+    eager_unlink = config.Rr_config.dm_eager_unlink;
+    table =
+      Array.init ways (fun _ ->
+          Array.init config.Rr_config.buckets (fun _ -> fresh_cell ()));
+    mine = Array.init Tm.Thread.max_threads (fun _ -> Tm.tvar None);
+  }
+
+let bucket_of t ~way r = t.table.(way).((t.hash r land max_int) mod t.buckets)
+let way_of t txn = Tm.thread_id txn mod t.ways
+
+let my_cells t txn =
+  let mine = t.mine.(Tm.thread_id txn) in
+  match Tm.read txn mine with
+  | Some cells -> cells
+  | None ->
+      let cells = Array.init t.k (fun _ -> fresh_cell ()) in
+      Tm.write txn mine (Some cells);
+      cells
+
+let register t txn = ignore (my_cells t txn)
+
+let link_after txn sentinel cell =
+  let nxt = Tm.read txn sentinel.next in
+  Tm.write txn cell.prev (Some sentinel);
+  Tm.write txn cell.next nxt;
+  Tm.write txn sentinel.next (Some cell);
+  match nxt with
+  | Some c -> Tm.write txn c.prev (Some cell)
+  | None -> ()
+
+let unlink txn cell =
+  match Tm.read txn cell.prev with
+  | None -> ()
+  | Some p ->
+      let nxt = Tm.read txn cell.next in
+      Tm.write txn p.next nxt;
+      (match nxt with Some c -> Tm.write txn c.prev (Some p) | None -> ());
+      Tm.write txn cell.prev None;
+      Tm.write txn cell.next None
+
+let find_cell t txn cells pred =
+  let n = Array.length cells in
+  let rec go i =
+    if i >= n then None
+    else
+      let c = cells.(i) in
+      if pred (Tm.read txn c.value) then Some c else go (i + 1)
+  in
+  ignore t;
+  go 0
+
+let holding t txn cells r =
+  find_cell t txn cells (function Some r' -> t.equal r' r | None -> false)
+
+let reserve t txn r =
+  let cells = my_cells t txn in
+  match holding t txn cells r with
+  | Some _ -> ()
+  | None -> (
+      match find_cell t txn cells (fun v -> v = None) with
+      | None -> invalid_arg "Rr_assoc.reserve: reservation set full"
+      | Some cell ->
+          (* A lazily-released cell may still sit in its old bucket; move it
+             now ("removal delayed until a subsequent transaction"). *)
+          unlink txn cell;
+          Tm.write txn cell.value (Some r);
+          link_after txn (bucket_of t ~way:(way_of t txn) r) cell)
+
+let release_cell t txn cell =
+  Tm.write txn cell.value None;
+  if t.eager_unlink then unlink txn cell
+
+let release t txn r =
+  let cells = my_cells t txn in
+  match holding t txn cells r with
+  | Some cell -> release_cell t txn cell
+  | None -> ()
+
+let release_all t txn =
+  let cells = my_cells t txn in
+  Array.iter
+    (fun cell ->
+      if Tm.read txn cell.value <> None then release_cell t txn cell)
+    cells
+
+let get t txn r =
+  let cells = my_cells t txn in
+  match holding t txn cells r with Some _ -> Some r | None -> None
+
+let revoke t txn r =
+  for way = 0 to t.ways - 1 do
+    let sentinel = bucket_of t ~way r in
+    let rec walk = function
+      | None -> ()
+      | Some cell ->
+          (match Tm.read txn cell.value with
+          | Some r' when t.equal r' r -> Tm.write txn cell.value None
+          | Some _ | None -> ());
+          walk (Tm.read txn cell.next)
+    in
+    walk (Tm.read txn sentinel.next)
+  done

@@ -1,0 +1,15 @@
+type t = {
+  slots_per_thread : int;
+  buckets : int;
+  assoc : int;
+  dm_eager_unlink : bool;
+}
+
+let default =
+  { slots_per_thread = 1; buckets = 256; assoc = 8; dm_eager_unlink = true }
+
+let validate t =
+  if t.slots_per_thread < 1 then
+    invalid_arg "Rr_config: slots_per_thread < 1";
+  if t.buckets < 1 then invalid_arg "Rr_config: buckets < 1";
+  if t.assoc < 1 then invalid_arg "Rr_config: assoc < 1"

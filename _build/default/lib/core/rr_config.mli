@@ -1,0 +1,26 @@
+(** Tuning knobs shared by the revocable-reservation implementations. *)
+
+type t = {
+  slots_per_thread : int;
+      (** Reservation-set capacity per thread ([K]). The paper presents the
+          algorithms with one reservation per thread and notes the extension
+          to sets is straightforward; all implementations here support
+          [K >= 1]. Default 1. *)
+  buckets : int;
+      (** Size of the hash-indexed metadata arrays ([OWN], [V], and the
+          direct-mapped bucket array). More buckets mean fewer spurious
+          revocations in the relaxed implementations. Default 256. *)
+  assoc : int;
+      (** Number of ways ([A]) for the set-associative (RR-SA) and shared
+          ownership (RR-SO) variants. The paper's evaluation uses [A = 8]. *)
+  dm_eager_unlink : bool;
+      (** RR-DM/RR-SA: when true (default), [Release] unlinks the thread's
+          cell from its bucket immediately; when false, unlinking is
+          deferred to the next [Reserve] — the paper's contention-avoiding
+          optimization ("a thread can delay removing the node from its list
+          until a subsequent transaction"). *)
+}
+
+val default : t
+val validate : t -> unit
+(** @raise Invalid_argument on nonsensical values. *)

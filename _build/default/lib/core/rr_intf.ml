@@ -1,0 +1,89 @@
+(** The revocable-reservation interface (the paper's Section 2 object).
+
+    A revocable reservation maintains, for every thread, a set of
+    references. All methods must be called from inside a transaction; their
+    effects commit or roll back with it.
+
+    The specification (Listing 1):
+    - [Reserve r] adds [r] to the calling thread's set;
+    - [Release r] removes it;
+    - [Get r] returns [Some r] iff [r] is in the caller's set;
+    - [Revoke r] removes [r] from {e every} thread's set.
+
+    Strict implementations (RR-FA, RR-DM, RR-SA) implement this exactly.
+    Relaxed implementations (RR-XO, RR-SO, RR-V) may {e spuriously} drop a
+    reservation — [Get r] may return [None] even though no [Revoke r]
+    occurred (because of hash collisions or competing [Reserve]s) — but
+    never return [Some r] for a reference that was revoked since the
+    caller's reservation. Spurious drops cost a restart, never safety. *)
+
+module type S = sig
+  type 'r t
+
+  val name : string
+
+  val strict : bool
+  (** Whether [get] is immune to spurious invalidation. The doubly-linked
+      list's separate unlink-and-revoke transaction keys off this. *)
+
+  val create :
+    ?config:Rr_config.t ->
+    hash:('r -> int) ->
+    equal:('r -> 'r -> bool) ->
+    unit ->
+    'r t
+  (** [hash] maps a reference to its metadata index (the paper hashes node
+      addresses; here, pool slot ids); it may collide freely. [equal]
+      decides reference identity (physical equality for pool nodes). *)
+
+  val register : 'r t -> Tm.txn -> unit
+  (** Announce the calling thread. Must precede its first use of any other
+      method; idempotent, and cheap after the first call. *)
+
+  val reserve : 'r t -> Tm.txn -> 'r -> unit
+  (** Add [r] to the caller's set. No-op if already present.
+      @raise Invalid_argument if the per-thread set is full
+      ({!Rr_config.t.slots_per_thread}). *)
+
+  val release : 'r t -> Tm.txn -> 'r -> unit
+  (** Remove [r] from the caller's set; no-op if absent. *)
+
+  val release_all : 'r t -> Tm.txn -> unit
+  (** Empty the caller's set (Listing 5 releases its only reservation at
+      every window boundary; with [K = 1] this is the common path). *)
+
+  val get : 'r t -> Tm.txn -> 'r -> 'r option
+  (** [Some r] iff the caller still holds a valid reservation on [r]. *)
+
+  val revoke : 'r t -> Tm.txn -> 'r -> unit
+  (** Remove [r] from every thread's set, so that the memory behind [r] can
+      be reclaimed the moment the enclosing transaction commits. *)
+end
+
+(** A runtime handle: one implementation instantiated at a concrete
+    reference type, packaged as closures so data structures and benchmarks
+    can select implementations dynamically. *)
+type 'r ops = {
+  name : string;
+  strict : bool;
+  register : Tm.txn -> unit;
+  reserve : Tm.txn -> 'r -> unit;
+  release : Tm.txn -> 'r -> unit;
+  release_all : Tm.txn -> unit;
+  get : Tm.txn -> 'r -> 'r option;
+  revoke : Tm.txn -> 'r -> unit;
+}
+
+let instantiate (type r) (module M : S) ?config ~(hash : r -> int)
+    ~(equal : r -> r -> bool) () : r ops =
+  let t = M.create ?config ~hash ~equal () in
+  {
+    name = M.name;
+    strict = M.strict;
+    register = (fun txn -> M.register t txn);
+    reserve = (fun txn r -> M.reserve t txn r);
+    release = (fun txn r -> M.release t txn r);
+    release_all = (fun txn -> M.release_all t txn);
+    get = (fun txn r -> M.get t txn r);
+    revoke = (fun txn r -> M.revoke t txn r);
+  }

@@ -1,0 +1,37 @@
+(** Executable form of the paper's Listing 1 sequential specification:
+    [refs : thread -> Set(ref)], with [Reserve]/[Release]/[Get]/[Revoke]
+    acting on it. Model-based tests drive a real implementation and this
+    model with the same operation sequence (inside single-threaded
+    transactions, so the sequential spec is the right oracle) and compare
+    every [Get]. *)
+
+type 'r t = {
+  equal : 'r -> 'r -> bool;
+  sets : (int, 'r list) Hashtbl.t;
+}
+
+let create ~equal () = { equal; sets = Hashtbl.create 16 }
+
+let refs t thread = Option.value ~default:[] (Hashtbl.find_opt t.sets thread)
+let set_refs t thread rs = Hashtbl.replace t.sets thread rs
+
+let mem t thread r = List.exists (fun r' -> t.equal r' r) (refs t thread)
+
+let reserve t ~thread r =
+  if not (mem t thread r) then set_refs t thread (r :: refs t thread)
+
+let release t ~thread r =
+  set_refs t thread (List.filter (fun r' -> not (t.equal r' r)) (refs t thread))
+
+let release_all t ~thread = set_refs t thread []
+
+let get t ~thread r = if mem t thread r then Some r else None
+
+let revoke t r =
+  Hashtbl.iter
+    (fun thread rs ->
+      Hashtbl.replace t.sets thread
+        (List.filter (fun r' -> not (t.equal r' r)) rs))
+    (Hashtbl.copy t.sets)
+
+let count t ~thread = List.length (refs t thread)

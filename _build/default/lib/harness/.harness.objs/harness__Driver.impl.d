@@ -1,0 +1,1 @@
+lib/harness/driver.ml: Array Atomic Domain Format List Printf Serial_check Set_ops Stdlib Tm Unix Workload

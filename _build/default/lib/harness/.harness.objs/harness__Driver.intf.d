@@ -1,0 +1,1 @@
+lib/harness/driver.mli: Format Set_ops Stdlib Tm Workload

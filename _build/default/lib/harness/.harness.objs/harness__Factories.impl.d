@@ -1,0 +1,1 @@
+lib/harness/factories.ml: List Lockfree Rr Set_ops Structs

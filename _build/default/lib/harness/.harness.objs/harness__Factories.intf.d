@@ -1,0 +1,1 @@
+lib/harness/factories.mli: Mempool Rr Set_ops Structs

@@ -1,0 +1,1 @@
+lib/harness/report.ml: Filename Format List Printf String Unix

@@ -1,0 +1,1 @@
+lib/harness/serial_check.ml: Array Hashtbl List Printf Workload

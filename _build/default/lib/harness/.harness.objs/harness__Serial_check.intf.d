@@ -1,0 +1,1 @@
+lib/harness/serial_check.mli: Stdlib Workload

@@ -1,0 +1,1 @@
+lib/harness/set_ops.ml: Lockfree Mempool Option Reclaim Structs

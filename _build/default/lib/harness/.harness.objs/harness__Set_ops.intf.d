@@ -1,0 +1,1 @@
+lib/harness/set_ops.mli: Lockfree Structs

@@ -1,0 +1,135 @@
+type result = {
+  impl : string;
+  spec : Workload.spec;
+  elapsed_s : float;
+  total_ops : int;
+  throughput : float;
+  tm : Tm.Stats.t;
+  size_after : int;
+  verdict : (unit, string) Stdlib.result;
+  pool_live : int option;
+  max_backlog : int option;
+  leaked : int option;
+}
+
+let barrier_wait counter =
+  Atomic.decr counter;
+  while Atomic.get counter > 0 do
+    Domain.cpu_relax ()
+  done
+
+type worker_out = {
+  log : Serial_check.logged array;
+  w_ins : int;
+  w_rem : int;
+  w_stats : Tm.Stats.t;
+}
+
+let dummy_log =
+  {
+    Serial_check.op = Workload.Lookup;
+    key = 0;
+    result = false;
+    earliest = 0;
+    stamp = 0;
+  }
+
+let worker ~spec ~handle ~verify ~barrier d () =
+  Tm.Thread.with_registered (fun tid ->
+      let rng = Workload.Rng.create ~seed:spec.Workload.seed ~thread:(d + 1) in
+      let n = spec.Workload.ops_per_thread in
+      let log = if verify then Array.make n dummy_log else [||] in
+      let ins = ref 0 and rem = ref 0 in
+      Tm.Stats.reset (Tm.Thread.stats ());
+      barrier_wait barrier;
+      for i = 0 to n - 1 do
+        let op, key = Workload.next_op rng spec in
+        let result, earliest, stamp =
+          match op with
+          | Workload.Insert ->
+              let r, s = handle.Set_ops.insert ~thread:tid key in
+              if r then incr ins;
+              (r, s, s)
+          | Workload.Remove ->
+              let r, e, s = handle.Set_ops.remove ~thread:tid key in
+              if r then incr rem;
+              (r, e, s)
+          | Workload.Lookup ->
+              let r, s = handle.Set_ops.lookup ~thread:tid key in
+              (r, s, s)
+        in
+        if verify then
+          log.(i) <- { Serial_check.op; key; result; earliest; stamp }
+      done;
+      handle.Set_ops.finalize_thread ~thread:tid;
+      {
+        log;
+        w_ins = !ins;
+        w_rem = !rem;
+        w_stats = Tm.Stats.copy (Tm.Thread.stats ());
+      })
+
+let run ?(verify = true) spec handle =
+  let tid = Tm.Thread.id () in
+  let initial = Workload.prefill_keys spec in
+  List.iter
+    (fun k ->
+      if not (fst (handle.Set_ops.insert ~thread:tid k)) then
+        failwith "Driver.run: prefill insert failed")
+    initial;
+  let barrier = Atomic.make (spec.Workload.threads + 1) in
+  let domains =
+    List.init spec.Workload.threads (fun d ->
+        Domain.spawn (worker ~spec ~handle ~verify ~barrier d))
+  in
+  barrier_wait barrier;
+  let t0 = Unix.gettimeofday () in
+  let outs = List.map Domain.join domains in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  handle.Set_ops.drain ();
+  let total_ops = spec.Workload.threads * spec.Workload.ops_per_thread in
+  let tm = Tm.Stats.create () in
+  List.iter (fun o -> Tm.Stats.add tm o.w_stats) outs;
+  let ins = List.fold_left (fun a o -> a + o.w_ins) 0 outs in
+  let rem = List.fold_left (fun a o -> a + o.w_rem) 0 outs in
+  let size_after = handle.Set_ops.size () in
+  let expected = List.length initial + ins - rem in
+  let verdict =
+    if size_after <> expected then
+      Error
+        (Printf.sprintf "size accounting: found %d, expected %d" size_after
+           expected)
+    else
+      match handle.Set_ops.check () with
+      | Error _ as e -> e
+      | Ok () ->
+          if verify && handle.Set_ops.stamped then
+            Serial_check.check ~initial (List.map (fun o -> o.log) outs)
+          else Ok ()
+  in
+  {
+    impl = handle.Set_ops.name;
+    spec;
+    elapsed_s = elapsed;
+    total_ops;
+    throughput = float_of_int total_ops /. elapsed;
+    tm;
+    size_after;
+    verdict;
+    pool_live = handle.Set_ops.pool_live ();
+    max_backlog = handle.Set_ops.max_backlog ();
+    leaked = handle.Set_ops.leaked ();
+  }
+
+let abort_rate r =
+  if r.tm.started = 0 then 0.
+  else
+    float_of_int (Tm.Stats.total_aborts r.tm)
+    /. float_of_int r.tm.started
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "%-10s %a: %.0f ops/s (%.2fs), aborts/attempt %.3f, fallbacks %d, %s"
+    r.impl Workload.pp_spec r.spec r.throughput r.elapsed_s (abort_rate r)
+    r.tm.fallbacks
+    (match r.verdict with Ok () -> "OK" | Error e -> "FAIL: " ^ e)

@@ -1,0 +1,31 @@
+(** The multi-domain benchmark driver.
+
+    Pre-fills the structure to the spec's ratio, releases all worker
+    domains from a barrier, runs the op mix, and gathers throughput, TM
+    statistics, reclamation metrics, and correctness verdicts. *)
+
+type result = {
+  impl : string;
+  spec : Workload.spec;
+  elapsed_s : float;
+  total_ops : int;
+  throughput : float;  (** operations per second, all threads *)
+  tm : Tm.Stats.t;  (** aggregated over worker threads *)
+  size_after : int;
+  verdict : (unit, string) Stdlib.result;
+      (** structural invariants + size accounting + (when available)
+          commit-stamp serializability of the whole run *)
+  pool_live : int option;
+  max_backlog : int option;
+  leaked : int option;
+}
+
+val run : ?verify:bool -> Workload.spec -> Set_ops.handle -> result
+(** [verify] (default [true]) logs every operation and runs the
+    serialization checker; disable it for pure throughput timing. The
+    calling domain must be TM-registered. *)
+
+val abort_rate : result -> float
+(** Aborts per started transaction attempt. *)
+
+val pp_result : Format.formatter -> result -> unit

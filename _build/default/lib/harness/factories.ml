@@ -1,0 +1,82 @@
+type factory = { label : string; make : unit -> Set_ops.handle }
+
+let rr_kinds =
+  List.map
+    (fun (name, m) -> (name, Structs.Mode.Rr_kind m))
+    Rr.all
+
+let slist ?window ?scatter ?strategy ?rr_config ?max_attempts kind =
+  {
+    label = Structs.Mode.kind_name kind;
+    make =
+      (fun () ->
+        Set_ops.of_hoh_list
+          (Structs.Hoh_list.create ~mode:kind ?window ?scatter ?strategy
+             ?rr_config ?max_attempts ()));
+  }
+
+let dlist ?window ?scatter ?strategy ?rr_config ?max_attempts ?split_unlink
+    kind =
+  {
+    label = Structs.Mode.kind_name kind;
+    make =
+      (fun () ->
+        Set_ops.of_hoh_dlist
+          (Structs.Hoh_dlist.create ~mode:kind ?window ?scatter ?strategy
+             ?rr_config ?max_attempts ?split_unlink ()));
+  }
+
+let bst_int ?window ?scatter ?strategy ?rr_config ?max_attempts kind =
+  {
+    label = Structs.Mode.kind_name kind;
+    make =
+      (fun () ->
+        Set_ops.of_bst_int
+          (Structs.Hoh_bst_int.create ~mode:kind ?window ?scatter ?strategy
+             ?rr_config ?max_attempts ()));
+  }
+
+let bst_ext ?window ?scatter ?strategy ?rr_config ?max_attempts kind =
+  {
+    label = Structs.Mode.kind_name kind;
+    make =
+      (fun () ->
+        Set_ops.of_bst_ext
+          (Structs.Hoh_bst_ext.create ~mode:kind ?window ?scatter ?strategy
+             ?rr_config ?max_attempts ()));
+  }
+
+let hashset ?buckets ?window ?scatter ?strategy ?rr_config ?max_attempts kind =
+  {
+    label = Structs.Mode.kind_name kind ^ "-hash";
+    make =
+      (fun () ->
+        Set_ops.of_hashset
+          (Structs.Hoh_hashset.create ~mode:kind ?buckets ?window ?scatter
+             ?strategy ?rr_config ?max_attempts ()));
+  }
+
+let skiplist ?window ?scatter ?strategy ?rr_config ?max_attempts kind =
+  {
+    label = Structs.Mode.kind_name kind ^ "-skip";
+    make =
+      (fun () ->
+        Set_ops.of_skiplist
+          (Structs.Hoh_skiplist.create ~mode:kind ?window ?scatter ?strategy
+             ?rr_config ?max_attempts ()));
+  }
+
+let lf_list reclaim =
+  {
+    label = (match reclaim with `Leak -> "LFLeak" | `Hp -> "LFHP");
+    make =
+      (fun () -> Set_ops.of_harris_list (Lockfree.Harris_list.create ~reclaim ()));
+  }
+
+let nm_tree () =
+  {
+    label = "LFLeak-NM";
+    make = (fun () -> Set_ops.of_nm_tree (Lockfree.Nm_tree.create ()));
+  }
+
+let best_window ~threads = if threads <= 4 then 16 else 8

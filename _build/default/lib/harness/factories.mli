@@ -1,0 +1,69 @@
+(** Named constructors for every curve in the paper's figures. *)
+
+type factory = { label : string; make : unit -> Set_ops.handle }
+
+val rr_kinds : (string * Structs.Mode.kind) list
+(** The six reservation implementations, as [Mode.Rr_kind]s. *)
+
+val slist :
+  ?window:int ->
+  ?scatter:bool ->
+  ?strategy:Mempool.strategy ->
+  ?rr_config:Rr.Config.t ->
+  ?max_attempts:int ->
+  Structs.Mode.kind ->
+  factory
+
+val dlist :
+  ?window:int ->
+  ?scatter:bool ->
+  ?strategy:Mempool.strategy ->
+  ?rr_config:Rr.Config.t ->
+  ?max_attempts:int ->
+  ?split_unlink:bool ->
+  Structs.Mode.kind ->
+  factory
+
+val bst_int :
+  ?window:int ->
+  ?scatter:bool ->
+  ?strategy:Mempool.strategy ->
+  ?rr_config:Rr.Config.t ->
+  ?max_attempts:int ->
+  Structs.Mode.kind ->
+  factory
+
+val bst_ext :
+  ?window:int ->
+  ?scatter:bool ->
+  ?strategy:Mempool.strategy ->
+  ?rr_config:Rr.Config.t ->
+  ?max_attempts:int ->
+  Structs.Mode.kind ->
+  factory
+
+val hashset :
+  ?buckets:int ->
+  ?window:int ->
+  ?scatter:bool ->
+  ?strategy:Mempool.strategy ->
+  ?rr_config:Rr.Config.t ->
+  ?max_attempts:int ->
+  Structs.Mode.kind ->
+  factory
+
+val skiplist :
+  ?window:int ->
+  ?scatter:bool ->
+  ?strategy:Mempool.strategy ->
+  ?rr_config:Rr.Config.t ->
+  ?max_attempts:int ->
+  Structs.Mode.kind ->
+  factory
+
+val lf_list : [ `Leak | `Hp ] -> factory
+val nm_tree : unit -> factory
+
+val best_window : threads:int -> int
+(** The paper tunes the window per thread count: larger windows win at low
+    thread counts, smaller at high counts (Sec. 5.2). *)

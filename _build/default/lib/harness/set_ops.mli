@@ -1,0 +1,38 @@
+(** A uniform runtime handle over every set implementation in the
+    repository, so the driver and benchmarks can treat the paper's curves
+    (HTM, RR-*, TMHP, REF, LFLeak, LFHP, LFLeak-NM) interchangeably.
+
+    Stamped operations return the operation's linearization stamp; for the
+    non-transactional (lock-free) structures there is no stamp and
+    [stamped] is [false] — the serialization checker skips them. *)
+
+type handle = {
+  name : string;
+  stamped : bool;
+  insert : thread:int -> int -> bool * int;
+  remove : thread:int -> int -> bool * int * int;
+      (** (result, earliest, stamp): linearizes at [stamp] except for the
+          doubly-linked-list strict fast-fail, which may linearize anywhere
+          in [(earliest, stamp]] *)
+  lookup : thread:int -> int -> bool * int;
+  finalize_thread : thread:int -> unit;
+  drain : unit -> unit;
+  size : unit -> int;
+  contents : unit -> int list;
+  check : unit -> (unit, string) result;
+  pool_live : unit -> int option;
+      (** live allocator objects after drain — the precise-reclamation
+          footprint *)
+  max_backlog : unit -> int option;
+      (** worst-case deferred-reclamation backlog (hazard pointers) *)
+  leaked : unit -> int option;  (** nodes never reclaimed (leaky baselines) *)
+}
+
+val of_hoh_list : Structs.Hoh_list.t -> handle
+val of_hoh_dlist : Structs.Hoh_dlist.t -> handle
+val of_bst_int : Structs.Hoh_bst_int.t -> handle
+val of_bst_ext : Structs.Hoh_bst_ext.t -> handle
+val of_hashset : Structs.Hoh_hashset.t -> handle
+val of_skiplist : Structs.Hoh_skiplist.t -> handle
+val of_harris_list : Lockfree.Harris_list.t -> handle
+val of_nm_tree : Lockfree.Nm_tree.t -> handle

@@ -1,0 +1,70 @@
+type op = Insert | Remove | Lookup
+
+type spec = {
+  key_bits : int;
+  lookup_pct : int;
+  threads : int;
+  ops_per_thread : int;
+  prefill_ratio : float;
+  seed : int;
+}
+
+let spec ?(prefill_ratio = 0.5) ?(seed = 0x5eed) ~key_bits ~lookup_pct
+    ~threads ~ops_per_thread () =
+  if key_bits < 1 || key_bits > 30 then invalid_arg "Workload.spec: key_bits";
+  if lookup_pct < 0 || lookup_pct > 100 then
+    invalid_arg "Workload.spec: lookup_pct";
+  if threads < 1 then invalid_arg "Workload.spec: threads";
+  { key_bits; lookup_pct; threads; ops_per_thread; prefill_ratio; seed }
+
+let key_range s = 1 lsl s.key_bits
+
+let pp_spec ppf s =
+  Format.fprintf ppf "%d-bit keys, %d%% lookups, %d threads, %d ops/thread"
+    s.key_bits s.lookup_pct s.threads s.ops_per_thread
+
+module Rng = struct
+  type t = { mutable state : int }
+
+  let create ~seed ~thread =
+    { state = (seed * 0x9e3779b9) + (thread * 0x85ebca6b) + 1 }
+
+  (* splitmix64-style mixer, truncated to OCaml's 63-bit ints. *)
+  let next t =
+    t.state <- (t.state + 0x1e3779b97f4a7c15) land max_int;
+    let z = t.state in
+    let z = (z lxor (z lsr 30)) * 0x3f58476d1ce4e5b9 land max_int in
+    let z = (z lxor (z lsr 27)) * 0x14d049bb133111eb land max_int in
+    z lxor (z lsr 31)
+
+  let int t bound =
+    if bound <= 0 then invalid_arg "Rng.int";
+    next t mod bound
+end
+
+let next_op rng s =
+  let key = 1 + Rng.int rng (key_range s) in
+  let roll = Rng.int rng 100 in
+  let op =
+    if roll < s.lookup_pct then Lookup
+    else if (roll - s.lookup_pct) mod 2 = 0 then Insert
+    else Remove
+  in
+  (op, key)
+
+let prefill_keys s =
+  let rng = Rng.create ~seed:s.seed ~thread:9999 in
+  let range = key_range s in
+  let want = int_of_float (s.prefill_ratio *. float_of_int range) in
+  let present = Hashtbl.create (2 * want) in
+  let rec go acc n guard =
+    if n >= want || guard > 100 * range then acc
+    else
+      let k = 1 + Rng.int rng range in
+      if Hashtbl.mem present k then go acc n (guard + 1)
+      else begin
+        Hashtbl.add present k ();
+        go (k :: acc) (n + 1) (guard + 1)
+      end
+  in
+  go [] 0 0

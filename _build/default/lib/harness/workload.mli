@@ -1,0 +1,47 @@
+(** Workload specifications matching the paper's stress-test
+    microbenchmarks: keys drawn uniformly from a [2^key_bits] range, a
+    lookup percentage with the remainder split evenly between inserts and
+    removes, the structure pre-filled to 50%, and a fixed number of
+    operations per thread. *)
+
+type op = Insert | Remove | Lookup
+
+type spec = {
+  key_bits : int;
+  lookup_pct : int;
+  threads : int;
+  ops_per_thread : int;
+  prefill_ratio : float;  (** fraction of the key range present at start *)
+  seed : int;
+}
+
+val spec :
+  ?prefill_ratio:float ->
+  ?seed:int ->
+  key_bits:int ->
+  lookup_pct:int ->
+  threads:int ->
+  ops_per_thread:int ->
+  unit ->
+  spec
+
+val key_range : spec -> int
+(** Number of distinct keys; keys are 1..range (0 is avoided so sentinels
+    and poison values can never collide with a key). *)
+
+val pp_spec : Format.formatter -> spec -> unit
+
+(** Deterministic per-thread generator (splitmix64). *)
+module Rng : sig
+  type t
+
+  val create : seed:int -> thread:int -> t
+  val int : t -> int -> int  (** uniform in [0, bound) *)
+end
+
+val next_op : Rng.t -> spec -> op * int
+(** Draw an operation and key according to the mix. *)
+
+val prefill_keys : spec -> int list
+(** The deterministic initial contents (about [prefill_ratio * range]
+    distinct keys). *)

@@ -1,0 +1,1 @@
+lib/lockfree/harris_list.ml: Atomic List Mempool Printf Reclaim

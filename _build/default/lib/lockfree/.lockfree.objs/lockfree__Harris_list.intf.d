@@ -1,0 +1,1 @@
+lib/lockfree/harris_list.mli: Mempool Reclaim

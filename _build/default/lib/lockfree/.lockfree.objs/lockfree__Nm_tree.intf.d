@@ -1,0 +1,1 @@
+lib/lockfree/nm_tree.mli:

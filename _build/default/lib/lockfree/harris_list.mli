@@ -1,0 +1,40 @@
+(** Lock-free sorted linked list (Harris 2001 / Michael 2002), the paper's
+    non-transactional list baseline.
+
+    Logical deletion marks the victim's [next] pointer; traversals help
+    physically unlink marked nodes. Two reclamation policies match the
+    paper's two curves:
+
+    - [`Leak]: removed nodes are never reclaimed ("LFLeak"), approximating
+      the best case of an epoch scheme or garbage collector;
+    - [`Hp]: unlinked nodes are retired through hazard pointers ("LFHP"),
+      with the paper's best-performing scan threshold of 64.
+
+    Mark-and-pointer words are immutable records in [Atomic.t] cells; CAS
+    on them is ABA-free under OCaml's GC because a cell is never recycled
+    while referenced. *)
+
+type t
+
+val create :
+  ?reclaim:[ `Leak | `Hp ] ->
+  ?hp_threshold:int ->
+  ?strategy:Mempool.strategy ->
+  unit ->
+  t
+(** [reclaim] defaults to [`Leak]. *)
+
+val name : t -> string
+val insert : t -> thread:int -> int -> bool
+val remove : t -> thread:int -> int -> bool
+val lookup : t -> thread:int -> int -> bool
+val finalize_thread : t -> thread:int -> unit
+val drain : t -> unit
+val to_list : t -> int list
+val size : t -> int
+
+val check : t -> (unit, string) result
+(** Quiescent: strictly sorted, no marked node linked, linked nodes live. *)
+
+val pool_stats : t -> Mempool.Stats.t
+val hazard_metrics : t -> Reclaim.Hazard.metrics option

@@ -1,0 +1,210 @@
+type node =
+  | Leaf of { key : int }
+  | Internal of { key : int; left : edge Atomic.t; right : edge Atomic.t }
+
+and edge = { target : node; flag : bool; tag : bool }
+
+let plain target = { target; flag = false; tag = false }
+let node_key = function Leaf l -> l.key | Internal i -> i.key
+
+(* Sentinel keys: all real keys are strictly below [inf0]. *)
+let inf0 = max_int - 2
+let inf1 = max_int - 1
+let inf2 = max_int
+let max_key = inf0 - 1
+
+type t = {
+  root : node;  (** R: Internal inf2 *)
+  s : node;  (** S: Internal inf1, R's left child *)
+  allocs : int Atomic.t;
+}
+
+let create () =
+  let s =
+    Internal
+      {
+        key = inf1;
+        left = Atomic.make (plain (Leaf { key = inf0 }));
+        right = Atomic.make (plain (Leaf { key = inf1 }));
+      }
+  in
+  let root =
+    Internal
+      {
+        key = inf2;
+        left = Atomic.make (plain s);
+        right = Atomic.make (plain (Leaf { key = inf2 }));
+      }
+  in
+  { root; s; allocs = Atomic.make 5 }
+
+let name _ = "LFLeak-NM"
+
+let fields = function
+  | Internal i -> (i.key, i.left, i.right)
+  | Leaf _ -> invalid_arg "Nm_tree: leaf has no children"
+
+let child_field node key =
+  let k, l, r = fields node in
+  if key < k then l else r
+
+type seek_record = {
+  ancestor : node;
+  successor : node;
+  suc_edge : edge;  (** the edge [ancestor -> successor] as read *)
+  parent : node;
+  par_edge : edge;  (** the edge [parent -> leaf] as read *)
+  leaf : node;
+}
+
+let seek t key =
+  let rec go ~anc ~suc ~suc_edge ~par ~par_edge =
+    match par_edge.target with
+    | Leaf _ ->
+        { ancestor = anc; successor = suc; suc_edge; parent = par; par_edge;
+          leaf = par_edge.target }
+    | Internal _ as current ->
+        let anc, suc, suc_edge =
+          if not par_edge.tag then (par, current, par_edge)
+          else (anc, suc, suc_edge)
+        in
+        let field = child_field current key in
+        go ~anc ~suc ~suc_edge ~par:current ~par_edge:(Atomic.get field)
+  in
+  let sl =
+    match t.s with Internal i -> i.left | Leaf _ -> assert false
+  in
+  let e0 = Atomic.get sl in
+  go ~anc:t.root ~suc:t.s
+    ~suc_edge:(Atomic.get (child_field t.root key))
+    ~par:t.s ~par_edge:e0
+
+(* Complete (or help complete) the deletion prepared at [s]: pin the
+   sibling edge with a tag, then swing the ancestor edge from the successor
+   to the sibling subtree, propagating any flag on the sibling edge. *)
+let cleanup _t key s =
+  let pkey, pl, pr = fields s.parent in
+  let child_f, sibling_f = if key < pkey then (pl, pr) else (pr, pl) in
+  let ce = Atomic.get child_f in
+  let sibling_f = if ce.flag then sibling_f else child_f in
+  let rec pin () =
+    let se = Atomic.get sibling_f in
+    if se.tag then se
+    else if Atomic.compare_and_set sibling_f se { se with tag = true } then
+      { se with tag = true }
+    else pin ()
+  in
+  let se = pin () in
+  let afield = child_field s.ancestor key in
+  Atomic.compare_and_set afield s.suc_edge
+    { target = se.target; flag = se.flag; tag = false }
+
+let lookup t ~thread:_ key =
+  if key > max_key then invalid_arg "Nm_tree: key out of range";
+  match (seek t key).leaf with
+  | Leaf l -> l.key = key
+  | Internal _ -> assert false
+
+let insert t ~thread:_ key =
+  if key > max_key || key <= min_int + 1 then
+    invalid_arg "Nm_tree: key out of range";
+  let rec loop () =
+    let s = seek t key in
+    let lkey = node_key s.leaf in
+    if lkey = key then false
+    else begin
+      let field = child_field s.parent key in
+      let e = s.par_edge in
+      if e.flag || e.tag then begin
+        (* The edge is involved in a deletion (flag: of this leaf; tag: of
+           its sibling): help complete it, then retry. *)
+        ignore (cleanup t key s);
+        loop ()
+      end
+      else begin
+        let new_leaf = Leaf { key } in
+        let lo, hi = if key < lkey then (new_leaf, s.leaf) else (s.leaf, new_leaf) in
+        let internal =
+          Internal
+            {
+              key = max key lkey;
+              left = Atomic.make (plain lo);
+              right = Atomic.make (plain hi);
+            }
+        in
+        ignore (Atomic.fetch_and_add t.allocs 2);
+        if Atomic.compare_and_set field e (plain internal) then true else loop ()
+      end
+    end
+  in
+  loop ()
+
+let remove t ~thread:_ key =
+  if key > max_key then invalid_arg "Nm_tree: key out of range";
+  let rec inject () =
+    let s = seek t key in
+    if node_key s.leaf <> key then false
+    else
+      let field = child_field s.parent key in
+      let e = s.par_edge in
+      if e.target != s.leaf then inject ()
+      else if e.flag || e.tag then begin
+        ignore (cleanup t key s);
+        inject ()
+      end
+      else if Atomic.compare_and_set field e { e with flag = true } then
+        if cleanup t key s then true else finish s.leaf
+      else inject ()
+  and finish leaf =
+    let s = seek t key in
+    if s.leaf != leaf then true (* a helper finished our deletion *)
+    else if cleanup t key s then true
+    else finish leaf
+  in
+  inject ()
+
+let finalize_thread _ ~thread:_ = ()
+let drain _ = ()
+
+let rec fold_leaves acc node f =
+  match node with
+  | Leaf l -> if l.key <= max_key then f acc l.key else acc
+  | Internal i ->
+      let acc = fold_leaves acc (Atomic.get i.left).target f in
+      fold_leaves acc (Atomic.get i.right).target f
+
+let to_list t = List.rev (fold_leaves [] t.root (fun acc k -> k :: acc))
+let size t = fold_leaves 0 t.root (fun acc _ -> acc + 1)
+
+let rec count_nodes node =
+  match node with
+  | Leaf _ -> 1
+  | Internal i ->
+      1
+      + count_nodes (Atomic.get i.left).target
+      + count_nodes (Atomic.get i.right).target
+
+let reachable t = count_nodes t.root
+let allocated t = Atomic.get t.allocs
+
+let check t =
+  let exception Bad of string in
+  (* Routing rule: key < i.key goes left, so left keys are <= i.key - 1 and
+     right keys >= i.key; bounds are inclusive. *)
+  let rec go node ~lo ~hi =
+    match node with
+    | Leaf l ->
+        if not (l.key >= lo && l.key <= hi) then
+          raise (Bad (Printf.sprintf "leaf %d out of bounds" l.key))
+    | Internal i ->
+        if not (i.key >= lo && i.key <= hi) then
+          raise (Bad (Printf.sprintf "internal %d out of bounds" i.key));
+        let le = Atomic.get i.left and re = Atomic.get i.right in
+        if le.flag || le.tag || re.flag || re.tag then
+          raise (Bad (Printf.sprintf "dirty edge below %d after quiesce" i.key));
+        go le.target ~lo ~hi:(i.key - 1);
+        go re.target ~lo:i.key ~hi
+  in
+  match go t.root ~lo:min_int ~hi:max_int with
+  | () -> Ok ()
+  | exception Bad m -> Error m

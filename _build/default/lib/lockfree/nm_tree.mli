@@ -1,0 +1,34 @@
+(** Lock-free external BST of Natarajan and Mittal (PPoPP 2014), the
+    paper's "LFLeak" tree baseline (taken from SynchroBench there; it leaks
+    removed nodes, as the paper notes).
+
+    Edges — not nodes — carry the synchronization state: a {e flag} on the
+    edge to a leaf marks it for deletion, a {e tag} on the sibling edge
+    pins it, and the deletion is completed by swinging the ancestor edge to
+    the pinned sibling subtree. Operations help complete deletions they
+    encounter. Keys are bounded above by three sentinels; the tree is
+    initialized so a real leaf's parent is always a proper internal node. *)
+
+type t
+
+val create : unit -> t
+
+val name : t -> string
+val max_key : int
+(** Largest insertable key (sentinels occupy the top of the range). *)
+
+val insert : t -> thread:int -> int -> bool
+val remove : t -> thread:int -> int -> bool
+val lookup : t -> thread:int -> int -> bool
+val finalize_thread : t -> thread:int -> unit
+val drain : t -> unit
+val to_list : t -> int list
+val size : t -> int
+val check : t -> (unit, string) result
+
+val allocated : t -> int
+(** Total nodes (internal + leaf) ever allocated; with no reclamation the
+    difference against the reachable count is the leak. *)
+
+val reachable : t -> int
+(** Nodes currently reachable (quiescent). *)

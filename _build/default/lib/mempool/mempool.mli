@@ -1,0 +1,84 @@
+(** Explicit pool allocation: the substrate that makes reclamation
+    {e precise} and observable.
+
+    The paper's data structures run in C++ and call [delete] the moment a
+    node is unlinked; the entire point of revocable reservations is to make
+    that immediate [free] safe. OCaml is garbage-collected, so we simulate
+    an explicit allocator: nodes are recycled through pools, a freed node is
+    poisoned and may be handed out again immediately (reproducing the
+    reuse/ABA hazards the paper targets), and misuse — double free, free of
+    a foreign node — is detected rather than corrupting memory.
+
+    Two placement strategies reproduce the allocator sensitivity of Fig. 5:
+
+    - {!Size_class} ("J-", jemalloc-like): one global lock-free freelist per
+      pool; every allocation and free performs a CAS on the shared head, so
+      allocator metadata is a contention point.
+    - {!Thread_arena} ("H-", Hoard-like): per-thread freelists exchanging
+      whole batches with a global batch stack, so the common case touches
+      only thread-local state. *)
+
+type strategy = Size_class | Thread_arena
+
+val strategy_name : strategy -> string
+(** ["J-size-class"] or ["H-thread-arena"], echoing the paper's curve
+    prefixes. *)
+
+module Stats : sig
+  type t = {
+    allocs : int;  (** successful allocations *)
+    frees : int;  (** successful frees *)
+    fresh : int;  (** nodes created anew (pool misses) *)
+    global_ops : int;  (** operations that touched the shared freelist *)
+    live : int;  (** currently outstanding nodes *)
+    high_water : int;  (** maximum simultaneous live nodes *)
+  }
+
+  val pp : Format.formatter -> t -> unit
+end
+
+exception Double_free of int
+(** Raised (with the node id) when a node is freed twice, or freed without
+    having been allocated. *)
+
+type 'a t
+
+val create :
+  ?strategy:strategy ->
+  ?batch:int ->
+  make:(int -> 'a) ->
+  node_id:('a -> int) ->
+  state:('a -> int Atomic.t) ->
+  ?poison:('a -> unit) ->
+  unit ->
+  'a t
+(** [create ~make ~node_id ~state ()] builds a pool of nodes fabricated by
+    [make id] (each with a unique id — the node's simulated address, which
+    [node_id] must return). [state] must return a per-node cell owned by the
+    pool; it tracks live/free and catches double frees. [poison] is applied
+    when a node is freed, so that any logically-erroneous later use is
+    detectable by tests. [batch] sizes the arena-to-global transfer unit for
+    {!Thread_arena} (default 32). *)
+
+val alloc : 'a t -> thread:int -> 'a
+(** Allocate a node: reuse a pooled one if available, else fabricate a fresh
+    one. [thread] selects the arena under {!Thread_arena}. *)
+
+val free : 'a t -> thread:int -> 'a -> unit
+(** Return a node to the pool, poisoning it. The node may be handed out
+    again by a concurrent [alloc] immediately — this immediacy is precisely
+    what "precise reclamation" means here.
+    @raise Double_free on repeated free. *)
+
+val is_live : 'a t -> 'a -> bool
+(** Whether the node is currently allocated (for invariant checks). *)
+
+val id_of : 'a t -> 'a -> int
+(** The pool-assigned id of a node. O(1); works on live and freed nodes. *)
+
+val stats : 'a t -> Stats.t
+val strategy : 'a t -> strategy
+
+val flush_arenas : 'a t -> unit
+(** Move all arena-held nodes to the global freelist. Call after worker
+    threads have quiesced, before asserting on accounting invariants. *)

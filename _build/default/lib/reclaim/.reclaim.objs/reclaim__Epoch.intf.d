@@ -1,0 +1,1 @@
+lib/reclaim/epoch.mli:

@@ -1,0 +1,1 @@
+lib/reclaim/hazard.ml: Array Atomic List Tm Unix

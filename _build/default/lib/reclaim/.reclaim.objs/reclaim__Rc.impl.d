@@ -1,0 +1,1 @@
+lib/reclaim/rc.ml: Tm

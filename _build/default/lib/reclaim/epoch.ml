@@ -1,0 +1,160 @@
+type 'a retired = { node : 'a; retired_at : float }
+type 'a bag = { mutable epoch : int; mutable nodes : 'a retired list }
+
+type 'a per_thread = {
+  announce : int Atomic.t;  (** [2*epoch+1] when active, [0] when idle *)
+  bags : 'a bag array;  (** indexed by epoch mod 3 *)
+  mutable retire_count : int;
+  mutable freed : int;
+  mutable delay_total : float;
+  mutable delay_max : float;
+}
+
+type 'a t = {
+  advance_threshold : int;
+  free : thread:int -> 'a -> unit;
+  global : int Atomic.t;
+  advances : int Atomic.t;
+  threads : 'a per_thread array;
+  retired_total : int Atomic.t;
+  backlog : int Atomic.t;
+  max_backlog : int Atomic.t;
+}
+
+let now () = Unix.gettimeofday ()
+
+let create ?(advance_threshold = 32) ~free () =
+  if advance_threshold < 1 then invalid_arg "Epoch.create";
+  {
+    advance_threshold;
+    free;
+    global = Atomic.make 2;
+    (* start at 2 so [epoch - 2] is never negative *)
+    advances = Atomic.make 0;
+    threads =
+      Array.init Tm.Thread.max_threads (fun _ ->
+          {
+            announce = Atomic.make 0;
+            bags = Array.init 3 (fun i -> { epoch = i - 3; nodes = [] });
+            retire_count = 0;
+            freed = 0;
+            delay_total = 0.;
+            delay_max = 0.;
+          });
+    retired_total = Atomic.make 0;
+    backlog = Atomic.make 0;
+    max_backlog = Atomic.make 0;
+  }
+
+let enter t ~thread =
+  let pt = t.threads.(thread) in
+  (* Announce, then re-check the global epoch: if it moved between the read
+     and the announce, re-announce so we never appear active in a stale
+     epoch that the advancer already skipped. *)
+  let rec loop () =
+    let e = Atomic.get t.global in
+    Atomic.set pt.announce ((2 * e) + 1);
+    if Atomic.get t.global <> e then loop ()
+  in
+  loop ()
+
+let leave t ~thread = Atomic.set t.threads.(thread).announce 0
+
+let bump_max_backlog t =
+  let cur = Atomic.get t.backlog in
+  let rec loop () =
+    let m = Atomic.get t.max_backlog in
+    if cur > m && not (Atomic.compare_and_set t.max_backlog m cur) then loop ()
+  in
+  loop ()
+
+let free_bag t ~thread pt bag =
+  let tnow = now () in
+  List.iter
+    (fun r ->
+      let delay = tnow -. r.retired_at in
+      pt.delay_total <- pt.delay_total +. delay;
+      if delay > pt.delay_max then pt.delay_max <- delay;
+      pt.freed <- pt.freed + 1;
+      Atomic.decr t.backlog;
+      t.free ~thread r.node)
+    bag.nodes;
+  bag.nodes <- []
+
+(* Free this thread's bags whose epoch is at least two behind. *)
+let collect t ~thread pt =
+  let e = Atomic.get t.global in
+  Array.iter
+    (fun bag -> if bag.nodes <> [] && bag.epoch <= e - 2 then free_bag t ~thread pt bag)
+    pt.bags
+
+let try_advance t =
+  let e = Atomic.get t.global in
+  let blocked =
+    Array.exists
+      (fun pt ->
+        let a = Atomic.get pt.announce in
+        a land 1 = 1 && a asr 1 <> e)
+      t.threads
+  in
+  if not blocked then
+    if Atomic.compare_and_set t.global e (e + 1) then
+      Atomic.incr t.advances
+
+let retire t ~thread n =
+  let pt = t.threads.(thread) in
+  let e = Atomic.get t.global in
+  let bag = pt.bags.(e mod 3) in
+  if bag.epoch <> e then begin
+    (* The slot cycles every three epochs, so its previous contents are at
+       least three epochs old and safe to free. *)
+    if bag.nodes <> [] then free_bag t ~thread pt bag;
+    bag.epoch <- e
+  end;
+  bag.nodes <- { node = n; retired_at = now () } :: bag.nodes;
+  Atomic.incr t.retired_total;
+  Atomic.incr t.backlog;
+  bump_max_backlog t;
+  pt.retire_count <- pt.retire_count + 1;
+  if pt.retire_count mod t.advance_threshold = 0 then begin
+    try_advance t;
+    collect t ~thread pt
+  end
+
+let drain t =
+  (* Callable only once all threads are quiescent. *)
+  for _ = 1 to 3 do
+    try_advance t
+  done;
+  Array.iteri (fun thread pt -> collect t ~thread pt) t.threads
+
+let current_epoch t = Atomic.get t.global
+
+type metrics = {
+  retired_total : int;
+  freed_total : int;
+  backlog : int;
+  max_backlog : int;
+  advances : int;
+  delay_total_s : float;
+  delay_max_s : float;
+}
+
+let metrics t =
+  let freed = ref 0 in
+  let delay_total = ref 0. and delay_max = ref 0. in
+  Array.iter
+    (fun pt ->
+      freed := !freed + pt.freed;
+      delay_total := !delay_total +. pt.delay_total;
+      if pt.delay_max > !delay_max then delay_max := pt.delay_max)
+    t.threads;
+  {
+    retired_total = Atomic.get t.retired_total;
+    freed_total = !freed;
+    backlog = Atomic.get t.backlog;
+    max_backlog = Atomic.get t.max_backlog;
+    advances = Atomic.get t.advances;
+    delay_total_s = !delay_total;
+    delay_max_s = !delay_max;
+  }

@@ -1,0 +1,43 @@
+(** Epoch-based reclamation (three-epoch RCU-style scheme).
+
+    Threads wrap data-structure operations in {!enter}/{!leave}; a retired
+    node becomes freeable two epoch advances after its retirement, at which
+    point no active thread can still hold a reference obtained before it was
+    unlinked. The paper notes that epoch schemes accept unbounded
+    reclamation delay for an unbounded number of items (a stalled reader
+    blocks the epoch); the backlog metrics here make that visible, in
+    contrast with the zero-delay reclamation of revocable reservations. *)
+
+type 'a t
+
+val create :
+  ?advance_threshold:int -> free:(thread:int -> 'a -> unit) -> unit -> 'a t
+(** [advance_threshold] is how many retires a thread performs between
+    attempts to advance the global epoch (default 32). *)
+
+val enter : 'a t -> thread:int -> unit
+(** Mark the thread active in the current epoch. Must not nest. *)
+
+val leave : 'a t -> thread:int -> unit
+(** Mark the thread quiescent. *)
+
+val retire : 'a t -> thread:int -> 'a -> unit
+(** Defer freeing until two epochs have passed. May advance the epoch and
+    free previously-retired nodes. *)
+
+val drain : 'a t -> unit
+(** After all threads quiesce: advance epochs and free everything. *)
+
+val current_epoch : 'a t -> int
+
+type metrics = {
+  retired_total : int;
+  freed_total : int;
+  backlog : int;
+  max_backlog : int;
+  advances : int;  (** successful global epoch advances *)
+  delay_total_s : float;
+  delay_max_s : float;
+}
+
+val metrics : 'a t -> metrics

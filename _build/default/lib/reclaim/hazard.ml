@@ -1,0 +1,161 @@
+type 'a retired = { node : 'a; retired_at : float }
+
+type 'a per_thread = {
+  mutable retired : 'a retired list;
+  mutable retired_count : int;
+  mutable freed : int;
+  mutable scans : int;
+  mutable delay_total : float;
+  mutable delay_max : float;
+}
+
+type 'a t = {
+  slots_per_thread : int;
+  scan_threshold : int;
+  free : thread:int -> 'a -> unit;
+  node_id : 'a -> int;
+  (* Flattened [max_threads * slots_per_thread] hazard slots. *)
+  slots : 'a option Atomic.t array;
+  threads : 'a per_thread array;
+  retired_total : int Atomic.t;
+  backlog : int Atomic.t;
+  max_backlog : int Atomic.t;
+}
+
+let now () = Unix.gettimeofday ()
+
+let create ?(slots_per_thread = 3) ?(scan_threshold = 64) ~free ~node_id () =
+  if slots_per_thread < 1 then invalid_arg "Hazard.create: slots_per_thread";
+  if scan_threshold < 1 then invalid_arg "Hazard.create: scan_threshold";
+  let nthreads = Tm.Thread.max_threads in
+  {
+    slots_per_thread;
+    scan_threshold;
+    free;
+    node_id;
+    slots = Array.init (nthreads * slots_per_thread) (fun _ -> Atomic.make None);
+    threads =
+      Array.init nthreads (fun _ ->
+          {
+            retired = [];
+            retired_count = 0;
+            freed = 0;
+            scans = 0;
+            delay_total = 0.;
+            delay_max = 0.;
+          });
+    retired_total = Atomic.make 0;
+    backlog = Atomic.make 0;
+    max_backlog = Atomic.make 0;
+  }
+
+let slot_index t ~thread ~slot =
+  if slot < 0 || slot >= t.slots_per_thread then invalid_arg "Hazard: slot";
+  (thread * t.slots_per_thread) + slot
+
+let protect t ~thread ~slot n =
+  Atomic.set t.slots.(slot_index t ~thread ~slot) (Some n)
+
+let clear t ~thread ~slot =
+  Atomic.set t.slots.(slot_index t ~thread ~slot) None
+
+let clear_all t ~thread =
+  for slot = 0 to t.slots_per_thread - 1 do
+    clear t ~thread ~slot
+  done
+
+let bump_max_backlog t =
+  let cur = Atomic.get t.backlog in
+  let rec loop () =
+    let m = Atomic.get t.max_backlog in
+    if cur > m && not (Atomic.compare_and_set t.max_backlog m cur) then loop ()
+  in
+  loop ()
+
+(* Snapshot every hazard slot into a sorted array of node ids for O(log n)
+   membership tests during the sweep. *)
+let hazard_snapshot t =
+  let ids =
+    Array.to_list t.slots
+    |> List.filter_map (fun s ->
+           match Atomic.get s with
+           | None -> None
+           | Some n -> Some (t.node_id n))
+    |> Array.of_list
+  in
+  Array.sort compare ids;
+  ids
+
+let mem_sorted ids x =
+  let rec go lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      if ids.(mid) = x then true
+      else if ids.(mid) < x then go (mid + 1) hi
+      else go lo mid
+  in
+  go 0 (Array.length ids)
+
+let scan_thread t ~thread pt =
+  pt.scans <- pt.scans + 1;
+  let hazards = hazard_snapshot t in
+  let tnow = now () in
+  let keep, free_now =
+    List.partition (fun r -> mem_sorted hazards (t.node_id r.node)) pt.retired
+  in
+  pt.retired <- keep;
+  pt.retired_count <- List.length keep;
+  List.iter
+    (fun r ->
+      let delay = tnow -. r.retired_at in
+      pt.delay_total <- pt.delay_total +. delay;
+      if delay > pt.delay_max then pt.delay_max <- delay;
+      pt.freed <- pt.freed + 1;
+      Atomic.decr t.backlog;
+      t.free ~thread r.node)
+    free_now
+
+let scan t ~thread = scan_thread t ~thread t.threads.(thread)
+
+let retire t ~thread n =
+  let pt = t.threads.(thread) in
+  pt.retired <- { node = n; retired_at = now () } :: pt.retired;
+  pt.retired_count <- pt.retired_count + 1;
+  Atomic.incr t.retired_total;
+  Atomic.incr t.backlog;
+  bump_max_backlog t;
+  if pt.retired_count >= t.scan_threshold then scan_thread t ~thread pt
+
+let drain t =
+  Array.iteri (fun thread pt -> scan_thread t ~thread pt) t.threads
+
+type metrics = {
+  retired_total : int;
+  freed_total : int;
+  backlog : int;
+  max_backlog : int;
+  scans : int;
+  delay_total_s : float;
+  delay_max_s : float;
+}
+
+let metrics t =
+  let freed = ref 0 and scans = ref 0 in
+  let delay_total = ref 0. and delay_max = ref 0. in
+  Array.iter
+    (fun pt ->
+      freed := !freed + pt.freed;
+      scans := !scans + pt.scans;
+      delay_total := !delay_total +. pt.delay_total;
+      if pt.delay_max > !delay_max then delay_max := pt.delay_max)
+    t.threads;
+  {
+    retired_total = Atomic.get t.retired_total;
+    freed_total = !freed;
+    backlog = Atomic.get t.backlog;
+    max_backlog = Atomic.get t.max_backlog;
+    scans = !scans;
+    delay_total_s = !delay_total;
+    delay_max_s = !delay_max;
+  }

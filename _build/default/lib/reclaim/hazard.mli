@@ -1,0 +1,58 @@
+(** Hazard pointers (Michael, 2004): the deferred-reclamation baseline.
+
+    A thread {e protects} a node by publishing it in one of its hazard
+    slots before dereferencing it, and re-validating the source pointer
+    afterwards. A remover {e retires} an unlinked node instead of freeing
+    it; once the thread's retired list reaches [scan_threshold] nodes, it
+    scans all hazard slots and frees every retired node that no slot
+    protects. The paper reports hazard pointers perform best when threads
+    reclaim only after 64 deletions, hence the default threshold.
+
+    Unlike revocable reservations, reclamation is neither precise nor
+    immediate: the backlog and delay metrics exposed here quantify exactly
+    the cost the paper's mechanism eliminates. *)
+
+type 'a t
+
+val create :
+  ?slots_per_thread:int ->
+  ?scan_threshold:int ->
+  free:(thread:int -> 'a -> unit) ->
+  node_id:('a -> int) ->
+  unit ->
+  'a t
+(** [create ~free ~node_id ()] builds a hazard-pointer domain whose scans
+    call [free] on unprotected retired nodes. [slots_per_thread] defaults to
+    3 (enough for Harris–Michael traversals); [scan_threshold] defaults to
+    64. *)
+
+val protect : 'a t -> thread:int -> slot:int -> 'a -> unit
+(** Publish a hazard. The caller must re-validate its source pointer after
+    publishing, per the hazard-pointer protocol. *)
+
+val clear : 'a t -> thread:int -> slot:int -> unit
+val clear_all : 'a t -> thread:int -> unit
+
+val retire : 'a t -> thread:int -> 'a -> unit
+(** Defer the node's free until no hazard slot protects it. Triggers a scan
+    when this thread's retired list reaches the threshold. *)
+
+val scan : 'a t -> thread:int -> unit
+(** Force a scan of this thread's retired list regardless of threshold. *)
+
+val drain : 'a t -> unit
+(** Reclaim everything reclaimable from every thread's retired list; call
+    after workers quiesce. Nodes still protected by a stale hazard remain
+    retired and are counted in {!backlog}. *)
+
+type metrics = {
+  retired_total : int;  (** nodes ever passed to {!retire} *)
+  freed_total : int;  (** nodes actually freed by scans *)
+  backlog : int;  (** currently retired, not yet freed *)
+  max_backlog : int;  (** worst-case deferred-reclamation footprint *)
+  scans : int;  (** number of scans performed *)
+  delay_total_s : float;  (** summed retire-to-free delay, seconds *)
+  delay_max_s : float;  (** worst single-node reclamation delay *)
+}
+
+val metrics : 'a t -> metrics

@@ -1,0 +1,13 @@
+type t = int Tm.tvar
+
+let make n = Tm.tvar n
+let incr txn t = Tm.write txn t (Tm.read txn t + 1)
+
+let decr txn t =
+  let n = Tm.read txn t - 1 in
+  if n < 0 then invalid_arg "Rc.decr: negative refcount";
+  Tm.write txn t n;
+  n
+
+let get txn t = Tm.read txn t
+let peek t = Tm.peek t

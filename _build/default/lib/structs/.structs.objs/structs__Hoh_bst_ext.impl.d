@@ -1,0 +1,1 @@
+lib/structs/hoh_bst_ext.ml: Atomic List Mempool Mode Option Printf Rr Tm Tnode

@@ -1,0 +1,1 @@
+lib/structs/hoh_bst_ext.mli: Mempool Mode Reclaim Rr

@@ -1,0 +1,1 @@
+lib/structs/hoh_bst_int.ml: Atomic List Mempool Mode Printf Rr Tm Tnode

@@ -1,0 +1,1 @@
+lib/structs/hoh_bst_int.mli: Mempool Mode Rr

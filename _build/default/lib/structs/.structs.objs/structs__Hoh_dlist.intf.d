@@ -1,0 +1,1 @@
+lib/structs/hoh_dlist.mli: Mempool Mode Reclaim Rr

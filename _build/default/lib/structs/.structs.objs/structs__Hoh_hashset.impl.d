@@ -1,0 +1,1 @@
+lib/structs/hoh_hashset.ml: Array Atomic List List_walk Lnode Mempool Mode Printf Rr Tm

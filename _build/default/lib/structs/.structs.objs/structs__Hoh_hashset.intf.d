@@ -1,0 +1,1 @@
+lib/structs/hoh_hashset.mli: Mempool Mode Reclaim Rr

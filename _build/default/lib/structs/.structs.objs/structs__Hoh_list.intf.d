@@ -1,0 +1,1 @@
+lib/structs/hoh_list.mli: Mempool Mode Reclaim Rr

@@ -1,0 +1,1 @@
+lib/structs/hoh_skiplist.ml: Array Atomic Hashtbl List Mempool Mode Printf Rr Snode Tm

@@ -1,0 +1,1 @@
+lib/structs/hoh_skiplist.mli: Mempool Mode Reclaim Rr

@@ -1,0 +1,1 @@
+lib/structs/list_walk.ml: Lnode Tm

@@ -1,0 +1,1 @@
+lib/structs/lnode.ml: Atomic Mempool Reclaim Tm

@@ -1,0 +1,1 @@
+lib/structs/lnode.mli: Atomic Mempool Reclaim Tm

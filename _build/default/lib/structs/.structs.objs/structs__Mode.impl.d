@@ -1,0 +1,1 @@
+lib/structs/mode.ml: Array Atomic Mempool Reclaim Rr Tm

@@ -1,0 +1,1 @@
+lib/structs/mode.mli: Atomic Mempool Reclaim Rr Tm

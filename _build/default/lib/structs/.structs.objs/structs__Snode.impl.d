@@ -1,0 +1,1 @@
+lib/structs/snode.ml: Array Atomic Mempool Reclaim Tm

@@ -1,0 +1,1 @@
+lib/structs/snode.mli: Atomic Mempool Reclaim Tm

@@ -1,0 +1,1 @@
+lib/structs/tnode.ml: Atomic Mempool Reclaim Tm

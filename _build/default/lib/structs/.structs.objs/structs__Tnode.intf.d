@@ -1,0 +1,1 @@
+lib/structs/tnode.mli: Atomic Mempool Reclaim Tm

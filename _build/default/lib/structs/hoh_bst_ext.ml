@@ -1,0 +1,236 @@
+module Window = Rr.Hoh.Window
+
+type t = {
+  mode : Tnode.t Mode.t;
+  root : Tnode.t;  (** sentinel router, key = [max_int]; tree on its left *)
+  window : Window.t;
+  pool : Tnode.t Mempool.t;
+  max_attempts : int option;
+}
+
+let create ~mode ?(window = 16) ?(scatter = true) ?strategy ?rr_config
+    ?hp_threshold ?(max_attempts = 8) () =
+  (match mode with
+  | Mode.Ref -> invalid_arg "Hoh_bst_ext: Ref mode is not supported"
+  | Mode.Rr_kind _ | Mode.Htm | Mode.Tmhp | Mode.Ebr -> ());
+  let pool = Tnode.make_pool ?strategy () in
+  let mode =
+    Mode.create mode ~pool
+      ~deleted:(fun n -> n.Tnode.deleted)
+      ~rc:(fun n -> n.Tnode.rc)
+      ~gen:(fun n -> Atomic.get n.Tnode.gen)
+      ~hash:Tnode.hash ~equal:Tnode.equal ?rr_config ?hp_threshold ()
+  in
+  {
+    mode;
+    root = Tnode.sentinel ~key:max_int;
+    window = Window.create ~scatter window;
+    pool;
+    max_attempts = Some max_attempts;
+  }
+
+let name t = t.mode.Mode.name
+
+let is_leaf txn n = Tm.read txn n.Tnode.left = None
+
+(* Windowed descent to a leaf, tracking parent and grandparent. Hands off
+   the last examined router; [`Leaf (gp, p, leaf)] may surface [gp = None]
+   when the leaf was reached within two steps of the resume point. *)
+let descend txn ~key ~start ~budget =
+  let rec go gp p curr i =
+    if is_leaf txn curr then `Leaf (gp, p, curr)
+    else
+      let k = Tm.read txn curr.Tnode.key in
+      let childv = if key < k then curr.Tnode.left else curr.Tnode.right in
+      match Tm.read txn childv with
+      | None -> `Leaf (gp, p, curr) (* only the empty root lacks children *)
+      | Some c ->
+          if i >= budget then `Window curr else go p (Some curr) c (i + 1)
+  in
+  go None None start 1
+
+let start_point t ~thread ~start =
+  match start with
+  | Some n -> (n, Window.size t.window)
+  | None ->
+      ( t.root,
+        if t.mode.Mode.whole_op then max_int
+        else Window.first_budget t.window ~thread )
+
+(* [on_leaf txn ~gp ~p ~leaf] with [p]/[gp] as available; [p = None] only
+   when the tree is empty ([leaf] is then the root sentinel). *)
+let apply t ~thread key ~on_leaf =
+  if key <= min_int + 1 || key >= max_int - 1 then
+    invalid_arg "Hoh_bst_ext: key out of range";
+  Rr.Hoh.apply_stamped ~rr:t.mode.Mode.ops ?max_attempts:t.max_attempts
+    (fun txn ~start ->
+      let start, budget = start_point t ~thread ~start in
+      match descend txn ~key ~start ~budget with
+      | `Leaf (gp, p, leaf) -> on_leaf txn ~gp ~p ~leaf
+      | `Window c -> Rr.Hoh.Hand_off c)
+
+let lookup_s t ~thread key =
+  apply t ~thread key ~on_leaf:(fun txn ~gp:_ ~p:_ ~leaf ->
+      Rr.Hoh.Finish
+        (Tnode.equal leaf t.root = false && Tm.read txn leaf.Tnode.key = key))
+
+let insert_s t ~thread key =
+  (* Two spares: the new leaf and its router. *)
+  let spare_leaf = ref None and spare_router = ref None in
+  let take spare =
+    match !spare with
+    | Some n -> n
+    | None ->
+        let n = Tnode.alloc t.pool ~thread in
+        spare := Some n;
+        n
+  in
+  let result =
+    apply t ~thread key ~on_leaf:(fun txn ~gp:_ ~p ~leaf ->
+        if Tnode.equal leaf t.root then begin
+          (* Empty tree: hang the first leaf off the sentinel. *)
+          let nl = take spare_leaf in
+          Tm.write txn nl.Tnode.key key;
+          Tm.write txn t.root.Tnode.left (Some nl);
+          Tm.defer txn (fun () -> spare_leaf := None);
+          Rr.Hoh.Finish true
+        end
+        else
+          let lk = Tm.read txn leaf.Tnode.key in
+          if lk = key then Rr.Hoh.Finish false
+          else begin
+            let p = Option.get p in
+            let nl = take spare_leaf and router = take spare_router in
+            Tm.write txn nl.Tnode.key key;
+            let lo, hi = if key < lk then (nl, leaf) else (leaf, nl) in
+            Tm.write txn router.Tnode.key (Tm.read txn hi.Tnode.key);
+            Tm.write txn router.Tnode.left (Some lo);
+            Tm.write txn router.Tnode.right (Some hi);
+            let pk = Tm.read txn p.Tnode.key in
+            Tm.write txn
+              (if key < pk then p.Tnode.left else p.Tnode.right)
+              (Some router);
+            Tm.defer txn (fun () ->
+                spare_leaf := None;
+                spare_router := None);
+            Rr.Hoh.Finish true
+          end)
+  in
+  Mode.give_back_spare t.pool ~thread spare_leaf;
+  Mode.give_back_spare t.pool ~thread spare_router;
+  result
+
+let remove_s t ~thread key =
+  apply t ~thread key ~on_leaf:(fun txn ~gp ~p ~leaf ->
+      if Tnode.equal leaf t.root then Rr.Hoh.Finish false
+      else if Tm.read txn leaf.Tnode.key <> key then Rr.Hoh.Finish false
+      else
+        match p with
+        | None -> Rr.Hoh.Finish false (* unreachable: leaf has a parent *)
+        | Some p when Tnode.equal p t.root ->
+            (* Single-leaf tree: detach the leaf from the sentinel. *)
+            Tm.write txn t.root.Tnode.left None;
+            t.mode.Mode.invalidate txn leaf;
+            t.mode.Mode.dispose txn leaf;
+            Rr.Hoh.Finish true
+        | Some p ->
+            let gp =
+              match gp with
+              | Some gp -> gp
+              | None ->
+                  (* The resume point was too close to the leaf: recover the
+                     grandparent with a full descent in this transaction. *)
+                  let rec from_root gp node =
+                    if Tnode.equal node p then Option.get gp
+                    else
+                      let k = Tm.read txn node.Tnode.key in
+                      let child =
+                        if key < k then node.Tnode.left else node.Tnode.right
+                      in
+                      from_root (Some node) (Option.get (Tm.read txn child))
+                  in
+                  from_root None t.root
+            in
+            let sibling =
+              match Tm.read txn p.Tnode.left with
+              | Some l when Tnode.equal l leaf -> Tm.read txn p.Tnode.right
+              | _ -> Tm.read txn p.Tnode.left
+            in
+            (match Tm.read txn gp.Tnode.left with
+            | Some l when Tnode.equal l p -> Tm.write txn gp.Tnode.left sibling
+            | _ -> Tm.write txn gp.Tnode.right sibling);
+            t.mode.Mode.invalidate txn p;
+            t.mode.Mode.invalidate txn leaf;
+            t.mode.Mode.dispose txn p;
+            t.mode.Mode.dispose txn leaf;
+            Rr.Hoh.Finish true)
+
+let insert t ~thread key = fst (insert_s t ~thread key)
+let remove t ~thread key = fst (remove_s t ~thread key)
+let lookup t ~thread key = fst (lookup_s t ~thread key)
+
+let finalize_thread t ~thread = t.mode.Mode.finalize ~thread
+let drain t = t.mode.Mode.drain ()
+
+let rec fold_leaves acc node f =
+  match node with
+  | None -> acc
+  | Some n -> (
+      match Tm.peek n.Tnode.left with
+      | None -> f acc n
+      | Some _ as l ->
+          let acc = fold_leaves acc l f in
+          fold_leaves acc (Tm.peek n.Tnode.right) f)
+
+let to_list t =
+  List.rev
+    (fold_leaves [] (Tm.peek t.root.Tnode.left) (fun acc n ->
+         Tm.peek n.Tnode.key :: acc))
+
+let size t = fold_leaves 0 (Tm.peek t.root.Tnode.left) (fun acc _ -> acc + 1)
+
+let depth t =
+  let rec go = function
+    | None -> 0
+    | Some n -> 1 + max (go (Tm.peek n.Tnode.left)) (go (Tm.peek n.Tnode.right))
+  in
+  go (Tm.peek t.root.Tnode.left)
+
+let check t =
+  let exception Bad of string in
+  let node_ok n =
+    if Tm.peek n.Tnode.key = Tnode.poisoned_key then
+      raise (Bad (Printf.sprintf "poisoned node %d linked" n.Tnode.id));
+    if Tm.peek n.Tnode.deleted then
+      raise (Bad (Printf.sprintf "deleted node %d linked" n.Tnode.id));
+    if not (Mempool.is_live t.pool n) then
+      raise (Bad (Printf.sprintf "freed node %d linked" n.Tnode.id))
+  in
+  (* Routers have exactly two children. Routing correctness is a bounds
+     invariant: a router with key [k] keeps its left subtree in [lo, k) and
+     its right subtree in [k, hi); router keys may go stale after removals
+     (they need not equal any present key), but bounds must hold so
+     descents stay deterministic. *)
+  let rec go node ~lo ~hi =
+    node_ok node;
+    let k = Tm.peek node.Tnode.key in
+    match (Tm.peek node.Tnode.left, Tm.peek node.Tnode.right) with
+    | None, None ->
+        if not (k >= lo && k < hi) then
+          raise (Bad (Printf.sprintf "leaf %d out of bounds" k))
+    | Some l, Some r ->
+        if not (k > lo && k < hi) then
+          raise (Bad (Printf.sprintf "router %d out of bounds" k));
+        go l ~lo ~hi:k;
+        go r ~lo:k ~hi
+    | _ -> raise (Bad (Printf.sprintf "router %d with one child" node.Tnode.id))
+  in
+  match Tm.peek t.root.Tnode.left with
+  | None -> Ok ()
+  | Some n -> (
+      match go n ~lo:min_int ~hi:max_int with
+      | () -> Ok ()
+      | exception Bad m -> Error m)
+
+let pool_stats t = Mempool.stats t.pool
+let hazard_metrics t = t.mode.Mode.hazard_metrics ()

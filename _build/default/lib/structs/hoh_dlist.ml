@@ -1,0 +1,206 @@
+module Window = Rr.Hoh.Window
+
+type t = {
+  mode : Lnode.t Mode.t;
+  head : Lnode.t;
+  window : Window.t;
+  pool : Lnode.t Mempool.t;
+  max_attempts : int option;
+  split_unlink : bool;
+}
+
+let create ~mode ?(window = 8) ?(scatter = true) ?strategy ?rr_config
+    ?hp_threshold ?max_attempts ?(split_unlink = true) () =
+  let pool = Lnode.make_pool ?strategy () in
+  let mode =
+    Mode.create mode ~pool
+      ~deleted:(fun n -> n.Lnode.deleted)
+      ~rc:(fun n -> n.Lnode.rc)
+      ~gen:(fun n -> Atomic.get n.Lnode.gen)
+      ~hash:Lnode.hash ~equal:Lnode.equal ?rr_config ?hp_threshold ()
+  in
+  {
+    mode;
+    head = Lnode.sentinel ();
+    window = Window.create ~scatter window;
+    pool;
+    max_attempts;
+    split_unlink;
+  }
+
+let name t = t.mode.Mode.name
+
+let start_point t ~thread ~start =
+  match start with
+  | Some n -> (n, Window.size t.window)
+  | None ->
+      ( t.head,
+        if t.mode.Mode.whole_op then max_int
+        else Window.first_budget t.window ~thread )
+
+let apply t ~thread key ~on_found ~on_notfound =
+  if key <= min_int + 1 then invalid_arg "Hoh_dlist: key out of range";
+  Rr.Hoh.apply_stamped ~rr:t.mode.Mode.ops ?max_attempts:t.max_attempts
+    (fun txn ~start ->
+      let prev, budget = start_point t ~thread ~start in
+      match List_walk.walk txn ~key ~prev ~budget with
+      | `Found (prev, curr) -> on_found txn ~prev ~curr
+      | `Absent (prev, curr) -> Rr.Hoh.Finish (on_notfound txn ~prev ~curr)
+      | `Window c -> Rr.Hoh.Hand_off c)
+
+let lookup_s t ~thread key =
+  apply t ~thread key
+    ~on_found:(fun _ ~prev:_ ~curr:_ -> Rr.Hoh.Finish true)
+    ~on_notfound:(fun _ ~prev:_ ~curr:_ -> false)
+
+let insert_s t ~thread key =
+  let spare = ref None in
+  let result =
+    apply t ~thread key
+      ~on_found:(fun _ ~prev:_ ~curr:_ -> Rr.Hoh.Finish false)
+      ~on_notfound:(fun txn ~prev ~curr ->
+        let n =
+          match !spare with
+          | Some n -> n
+          | None ->
+              let n = Lnode.alloc t.pool ~thread in
+              spare := Some n;
+              n
+        in
+        Tm.write txn n.Lnode.key key;
+        Tm.write txn n.Lnode.prev (Some prev);
+        Tm.write txn n.Lnode.next curr;
+        Tm.write txn prev.Lnode.next (Some n);
+        (match curr with
+        | Some c -> Tm.write txn c.Lnode.prev (Some n)
+        | None -> ());
+        Tm.defer txn (fun () -> spare := None);
+        true)
+  in
+  Mode.give_back_spare t.pool ~thread spare;
+  result
+
+(* Unlink [n] using its own prev/next pointers — the point of the doubly
+   linked list: the traversal's (prev, curr) pair is not needed. *)
+let unlink_and_reclaim t txn n =
+  let p =
+    match Tm.read txn n.Lnode.prev with
+    | Some p -> p
+    | None -> assert false (* linked nodes always have a predecessor *)
+  in
+  let nx = Tm.read txn n.Lnode.next in
+  Tm.write txn p.Lnode.next nx;
+  (match nx with
+  | Some x -> Tm.write txn x.Lnode.prev (Some p)
+  | None -> ());
+  t.mode.Mode.invalidate txn n;
+  t.mode.Mode.dispose txn n
+
+type phase = Traversing | Unlink of Lnode.t
+
+(* Returns (result, earliest, stamp). For most paths the operation is a
+   point at [stamp]; the strict fast-fail path (reservation revoked between
+   the reserving and unlinking transactions) linearizes "immediately after
+   the concurrent Remove" (Sec. 4.2), somewhere in the open interval
+   between the reserving commit [earliest] and the final commit [stamp] —
+   the serialization checker accepts any absence of the key inside it. *)
+let remove_s t ~thread key =
+  if key <= min_int + 1 then invalid_arg "Hoh_dlist: key out of range";
+  let split = t.split_unlink && not t.mode.Mode.whole_op in
+  let phase = ref Traversing in
+  let reserve_stamp = ref 0 in
+  let flex = ref false in
+  let result, stamp =
+    Rr.Hoh.apply_stamped ~rr:t.mode.Mode.ops ?max_attempts:t.max_attempts
+      (fun txn ~start ->
+        let traverse ~start =
+          let prev, budget = start_point t ~thread ~start in
+          match List_walk.walk txn ~key ~prev ~budget with
+          | `Found (_, curr) ->
+              if split then begin
+                (* Reserve the target and commit; unlink in the next,
+                   write-only transaction. *)
+                Tm.defer txn (fun () ->
+                    phase := Unlink curr;
+                    reserve_stamp := Tm.commit_stamp txn);
+                Rr.Hoh.Hand_off curr
+              end
+              else begin
+                unlink_and_reclaim t txn curr;
+                Rr.Hoh.Finish true
+              end
+          | `Absent (_, _) -> Rr.Hoh.Finish false
+          | `Window c -> Rr.Hoh.Hand_off c
+        in
+        match !phase with
+        | Traversing -> traverse ~start
+        | Unlink n -> (
+            match start with
+            | Some s ->
+                assert (Lnode.equal s n);
+                unlink_and_reclaim t txn n;
+                Rr.Hoh.Finish true
+            | None ->
+                if t.mode.Mode.strict then begin
+                  (* Only a concurrent removal of this very node can revoke
+                     a strict reservation: fail without re-traversing,
+                     linearizing right after that removal. *)
+                  Tm.defer txn (fun () -> flex := true);
+                  Rr.Hoh.Finish false
+                end
+                else begin
+                  (* Spurious invalidation is possible: retry the whole
+                     operation (Sec. 4.2). *)
+                  Tm.defer txn (fun () -> phase := Traversing);
+                  traverse ~start:None
+                end))
+  in
+  let earliest = if !flex then !reserve_stamp else stamp in
+  (result, earliest, stamp)
+
+let insert t ~thread key = fst (insert_s t ~thread key)
+
+let remove t ~thread key =
+  let r, _, _ = remove_s t ~thread key in
+  r
+
+let lookup t ~thread key = fst (lookup_s t ~thread key)
+
+let finalize_thread t ~thread = t.mode.Mode.finalize ~thread
+let drain t = t.mode.Mode.drain ()
+
+let to_list t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go (Tm.peek n.Lnode.key :: acc) (Tm.peek n.Lnode.next)
+  in
+  go [] (Tm.peek t.head.Lnode.next)
+
+let size t = List.length (to_list t)
+
+let check t =
+  let rec go prev node =
+    match node with
+    | None -> Ok ()
+    | Some n ->
+        let k = Tm.peek n.Lnode.key in
+        if k = Lnode.poisoned_key then
+          Error (Printf.sprintf "poisoned node %d linked" n.Lnode.id)
+        else if Tm.peek n.Lnode.deleted then
+          Error (Printf.sprintf "deleted node %d (key %d) linked" n.Lnode.id k)
+        else if not (Mempool.is_live t.pool n) then
+          Error (Printf.sprintf "freed node %d (key %d) linked" n.Lnode.id k)
+        else if k <= Tm.peek prev.Lnode.key && prev != t.head then
+          Error (Printf.sprintf "keys not strictly sorted at %d" k)
+        else if
+          not
+            (match Tm.peek n.Lnode.prev with
+            | Some p -> p == prev
+            | None -> false)
+        then Error (Printf.sprintf "bad prev pointer at key %d" k)
+        else go n (Tm.peek n.Lnode.next)
+  in
+  go t.head (Tm.peek t.head.Lnode.next)
+
+let pool_stats t = Mempool.stats t.pool
+let hazard_metrics t = t.mode.Mode.hazard_metrics ()

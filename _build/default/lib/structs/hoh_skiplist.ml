@@ -1,0 +1,282 @@
+module Window = Rr.Hoh.Window
+
+type t = {
+  mode : Snode.t Mode.t;
+  head : Snode.t;
+  window : Window.t;
+  pool : Snode.t Mempool.t;
+  max_attempts : int option;
+  seeds : int array;
+}
+
+let create ~mode ?(window = 16) ?(scatter = true) ?strategy ?rr_config
+    ?hp_threshold ?(max_attempts = 8) ?(seed = 42) () =
+  (match mode with
+  | Mode.Ref -> invalid_arg "Hoh_skiplist: Ref mode is not supported"
+  | Mode.Rr_kind _ | Mode.Htm | Mode.Tmhp | Mode.Ebr -> ());
+  let pool = Snode.make_pool ?strategy () in
+  let mode =
+    Mode.create mode ~pool
+      ~deleted:(fun n -> n.Snode.deleted)
+      ~rc:(fun n -> n.Snode.rc)
+      ~gen:(fun n -> Atomic.get n.Snode.gen)
+      ~hash:Snode.hash ~equal:Snode.equal ?rr_config ?hp_threshold ()
+  in
+  {
+    mode;
+    head = Snode.sentinel ();
+    window = Window.create ~scatter window;
+    pool;
+    max_attempts = Some max_attempts;
+    seeds = Array.init Tm.Thread.max_threads (fun i -> seed + (i * 7919) + 1);
+  }
+
+let name t = t.mode.Mode.name ^ "-skip"
+
+(* Geometric tower heights (p = 1/2), per-thread generators. *)
+let random_level t ~thread =
+  let s = t.seeds.(thread) in
+  let s = s lxor (s lsl 13) in
+  let s = s lxor (s lsr 7) in
+  let s = s lxor (s lsl 17) in
+  t.seeds.(thread) <- s;
+  let rec go lvl bits =
+    if lvl >= Snode.max_level || bits land 1 = 0 then lvl
+    else go (lvl + 1) (bits lsr 1)
+  in
+  1 + go 0 (s land max_int)
+
+exception Stale_hint
+
+(* Full descent inside the current transaction, refreshing every hint;
+   the fallback when a hint from an earlier window was removed. *)
+let collect_preds txn t ~key preds =
+  let rec walk node lvl =
+    match Tm.read txn node.Snode.next.(lvl) with
+    | Some m when Tm.read txn m.Snode.key < key -> walk m lvl
+    | _ ->
+        preds.(lvl) <- node;
+        if lvl > 0 then walk node (lvl - 1)
+  in
+  walk t.head (Snode.max_level - 1)
+
+(* Validate and fast-forward the hint for level [l]: the hint must still be
+   alive (its key is then unchanged and below [key], and it still occupies
+   level [l]); newer inserts between hint and position are skipped by
+   walking forward within this transaction's snapshot. *)
+let fresh_pred txn t ~key ~preds l =
+  let hint = preds.(l) in
+  if
+    (not (Snode.equal hint t.head))
+    && Tm.read txn hint.Snode.deleted
+  then raise Stale_hint;
+  let rec go p =
+    match Tm.read txn p.Snode.next.(l) with
+    | Some m when Tm.read txn m.Snode.key < key -> go m
+    | _ -> p
+  in
+  go hint
+
+let pred_with_hint txn t ~key ~preds l =
+  try fresh_pred txn t ~key ~preds l
+  with Stale_hint ->
+    collect_preds txn t ~key preds;
+    fresh_pred txn t ~key ~preds l
+
+(* The windowed traversal. [on_position txn ~preds ~pred0 ~curr] runs in the
+   final transaction once level 0 is reached: [pred0 = preds.(0)] is fresh,
+   [curr] its level-0 successor (the candidate match). *)
+let apply t ~thread key ~on_position =
+  if key <= min_int + 1 then invalid_arg "Hoh_skiplist: key out of range";
+  let preds = Array.make Snode.max_level t.head in
+  let resume_level = ref (Snode.max_level - 1) in
+  Rr.Hoh.apply_stamped ~rr:t.mode.Mode.ops ?max_attempts:t.max_attempts
+    (fun txn ~start ->
+      let node, lvl, budget =
+        match start with
+        | Some n -> (n, !resume_level, Window.size t.window)
+        | None ->
+            Array.fill preds 0 Snode.max_level t.head;
+            ( t.head,
+              Snode.max_level - 1,
+              if t.mode.Mode.whole_op then max_int
+              else Window.first_budget t.window ~thread )
+      in
+      let rec walk node lvl visited =
+        match Tm.read txn node.Snode.next.(lvl) with
+        | Some m when Tm.read txn m.Snode.key < key ->
+            if visited >= budget then begin
+              Tm.defer txn (fun () -> resume_level := lvl);
+              Rr.Hoh.Hand_off m
+            end
+            else walk m lvl (visited + 1)
+        | curr ->
+            preds.(lvl) <- node;
+            if lvl = 0 then
+              Rr.Hoh.Finish (on_position txn ~preds ~pred0:node ~curr)
+            else walk node (lvl - 1) visited
+      in
+      walk node lvl 1)
+
+let key_matches txn curr key =
+  match curr with
+  | Some c -> Tm.read txn c.Snode.key = key
+  | None -> false
+
+let lookup_s t ~thread key =
+  apply t ~thread key ~on_position:(fun txn ~preds:_ ~pred0:_ ~curr ->
+      key_matches txn curr key)
+
+let insert_s t ~thread key =
+  let spare = ref None in
+  let result =
+    apply t ~thread key ~on_position:(fun txn ~preds ~pred0:_ ~curr ->
+        if key_matches txn curr key then false
+        else begin
+          let n =
+            match !spare with
+            | Some n -> n
+            | None ->
+                let n = Snode.alloc t.pool ~thread in
+                spare := Some n;
+                n
+          in
+          let height = random_level t ~thread in
+          Tm.write txn n.Snode.key key;
+          Tm.write txn n.Snode.level height;
+          for l = 0 to height - 1 do
+            let p = pred_with_hint txn t ~key ~preds l in
+            Tm.write txn n.Snode.next.(l) (Tm.read txn p.Snode.next.(l));
+            Tm.write txn p.Snode.next.(l) (Some n)
+          done;
+          Tm.defer txn (fun () -> spare := None);
+          true
+        end)
+  in
+  Mode.give_back_spare t.pool ~thread spare;
+  result
+
+let remove_s t ~thread key =
+  apply t ~thread key ~on_position:(fun txn ~preds ~pred0:_ ~curr ->
+      match curr with
+      | Some c when Tm.read txn c.Snode.key = key ->
+          (* the deleted flag is the hint-validity marker in every mode *)
+          Tm.write txn c.Snode.deleted true;
+          let height = Tm.read txn c.Snode.level in
+          for l = 0 to height - 1 do
+            let p = pred_with_hint txn t ~key ~preds l in
+            (* [p] is the rightmost node below [key] at level l, so its
+               successor at level l is [c] in this snapshot *)
+            (match Tm.read txn p.Snode.next.(l) with
+            | Some m when Snode.equal m c ->
+                Tm.write txn p.Snode.next.(l) (Tm.read txn c.Snode.next.(l))
+            | _ -> assert false);
+            ()
+          done;
+          t.mode.Mode.invalidate txn c;
+          t.mode.Mode.dispose txn c;
+          true
+      | _ -> false)
+
+let insert t ~thread key = fst (insert_s t ~thread key)
+let remove t ~thread key = fst (remove_s t ~thread key)
+let lookup t ~thread key = fst (lookup_s t ~thread key)
+
+let finalize_thread t ~thread = t.mode.Mode.finalize ~thread
+let drain t = t.mode.Mode.drain ()
+
+let to_list t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go (Tm.peek n.Snode.key :: acc) (Tm.peek n.Snode.next.(0))
+  in
+  go [] (Tm.peek t.head.Snode.next.(0))
+
+let size t = List.length (to_list t)
+
+let levels_histogram t =
+  let hist = Array.make (Snode.max_level + 1) 0 in
+  let rec go = function
+    | None -> ()
+    | Some n ->
+        let l = Tm.peek n.Snode.level in
+        hist.(l) <- hist.(l) + 1;
+        go (Tm.peek n.Snode.next.(0))
+  in
+  go (Tm.peek t.head.Snode.next.(0));
+  hist
+
+let check t =
+  let exception Bad of string in
+  let node_ok n =
+    if Tm.peek n.Snode.key = Snode.poisoned_key then
+      raise (Bad (Printf.sprintf "poisoned node %d linked" n.Snode.id));
+    if Tm.peek n.Snode.deleted then
+      raise (Bad (Printf.sprintf "deleted node %d linked" n.Snode.id));
+    if not (Mempool.is_live t.pool n) then
+      raise (Bad (Printf.sprintf "freed node %d linked" n.Snode.id))
+  in
+  try
+    (* level-0 contents; remember them for the sublist checks *)
+    let level0 = Hashtbl.create 64 in
+    let rec walk0 prev_key = function
+      | None -> ()
+      | Some n ->
+          node_ok n;
+          let k = Tm.peek n.Snode.key in
+          if k <= prev_key then
+            raise (Bad (Printf.sprintf "level 0 not sorted at %d" k));
+          let l = Tm.peek n.Snode.level in
+          if l < 1 || l > Snode.max_level then
+            raise (Bad (Printf.sprintf "bad tower height %d at %d" l k));
+          Hashtbl.replace level0 n.Snode.id l;
+          walk0 k (Tm.peek n.Snode.next.(0))
+    in
+    walk0 min_int (Tm.peek t.head.Snode.next.(0));
+    (* every upper level: sorted, and only nodes whose tower reaches it *)
+    for l = 1 to Snode.max_level - 1 do
+      let rec walk prev_key = function
+        | None -> ()
+        | Some n ->
+            let k = Tm.peek n.Snode.key in
+            if k <= prev_key then
+              raise (Bad (Printf.sprintf "level %d not sorted at %d" l k));
+            (match Hashtbl.find_opt level0 n.Snode.id with
+            | Some h when h > l -> ()
+            | Some _ ->
+                raise
+                  (Bad (Printf.sprintf "node %d linked above its height" k))
+            | None ->
+                raise
+                  (Bad
+                     (Printf.sprintf "node %d at level %d missing from level 0"
+                        k l)));
+            walk k (Tm.peek n.Snode.next.(l))
+      in
+      walk min_int (Tm.peek t.head.Snode.next.(l))
+    done;
+    (* conversely, every tall node must be reachable at each of its levels *)
+    let counts = Array.make Snode.max_level 0 in
+    Hashtbl.iter
+      (fun _ h ->
+        for l = 0 to h - 1 do
+          counts.(l) <- counts.(l) + 1
+        done)
+      level0;
+    for l = 0 to Snode.max_level - 1 do
+      let rec len acc = function
+        | None -> acc
+        | Some n -> len (acc + 1) (Tm.peek n.Snode.next.(l))
+      in
+      let reach = len 0 (Tm.peek t.head.Snode.next.(l)) in
+      if reach <> counts.(l) then
+        raise
+          (Bad
+             (Printf.sprintf "level %d reaches %d nodes, towers say %d" l reach
+                counts.(l)))
+    done;
+    Ok ()
+  with Bad m -> Error m
+
+let pool_stats t = Mempool.stats t.pool
+let hazard_metrics t = t.mode.Mode.hazard_metrics ()

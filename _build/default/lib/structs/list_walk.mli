@@ -1,0 +1,13 @@
+(** The windowed traversal loop shared by the singly and doubly linked
+    lists (the [while] of Listing 5). *)
+
+val walk :
+  Tm.txn ->
+  key:int ->
+  prev:Lnode.t ->
+  budget:int ->
+  [ `Found of Lnode.t * Lnode.t  (** (prev, curr) with [curr.key = key] *)
+  | `Absent of Lnode.t * Lnode.t option
+    (** key not present; curr is its successor *)
+  | `Window of Lnode.t  (** budget exhausted; hand off at this node *) ]
+(** Reads at most [budget] nodes starting at [prev.next]. *)

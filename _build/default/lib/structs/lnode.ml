@@ -1,0 +1,53 @@
+type t = {
+  id : int;
+  pstate : int Atomic.t;
+  gen : int Atomic.t;
+  key : int Tm.tvar;
+  next : t option Tm.tvar;
+  prev : t option Tm.tvar;
+  deleted : bool Tm.tvar;
+  rc : Reclaim.Rc.t;
+}
+
+let poisoned_key = min_int
+
+let make id =
+  {
+    id;
+    pstate = Atomic.make 0;
+    gen = Atomic.make 0;
+    key = Tm.tvar poisoned_key;
+    next = Tm.tvar None;
+    prev = Tm.tvar None;
+    deleted = Tm.tvar false;
+    rc = Reclaim.Rc.make 0;
+  }
+
+(* Version-bumping writes: a doomed transaction that read this node before
+   it was freed can no longer pass commit-time validation. *)
+let poison n =
+  Tm.poke n.key poisoned_key;
+  Tm.poke n.next None;
+  Tm.poke n.prev None;
+  Tm.poke n.deleted true
+
+let make_pool ?strategy () =
+  Mempool.create ?strategy ~make ~node_id:(fun n -> n.id)
+    ~state:(fun n -> n.pstate)
+    ~poison ()
+
+let sentinel () = make (-1)
+
+let hash n =
+  let h = n.id * 0x9e3779b1 in
+  h lxor (h lsr 16)
+
+let equal a b = a == b
+
+let alloc pool ~thread =
+  let n = Mempool.alloc pool ~thread in
+  Atomic.incr n.gen;
+  Tm.poke n.deleted false;
+  Tm.poke n.next None;
+  Tm.poke n.prev None;
+  n

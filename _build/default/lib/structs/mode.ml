@@ -1,0 +1,312 @@
+type kind =
+  | Rr_kind of (module Rr.S)
+  | Htm
+  | Tmhp
+  | Ref
+  | Ebr
+
+let kind_name = function
+  | Rr_kind m ->
+      let module M = (val m : Rr.S) in
+      M.name
+  | Htm -> "HTM"
+  | Tmhp -> "TMHP"
+  | Ref -> "REF"
+  | Ebr -> "EBR"
+
+type 'n t = {
+  name : string;
+  strict : bool;
+  whole_op : bool;
+  ops : 'n Rr.ops;
+  invalidate : Tm.txn -> 'n -> unit;
+  dispose : Tm.txn -> 'n -> unit;
+  finalize : thread:int -> unit;
+  drain : unit -> unit;
+  hazard_metrics : unit -> Reclaim.Hazard.metrics option;
+}
+
+let give_back_spare pool ~thread spare =
+  match !spare with
+  | None -> ()
+  | Some n -> (
+      match Tm.current_txn () with
+      | None ->
+          Mempool.free pool ~thread n;
+          spare := None
+      | Some txn ->
+          Tm.defer txn (fun () ->
+              match !spare with
+              | Some n ->
+                  Mempool.free pool ~thread n;
+                  spare := None
+              | None -> ()))
+
+let no_op_ops name : 'n Rr.ops =
+  {
+    Rr.name;
+    strict = true;
+    register = (fun _ -> ());
+    reserve = (fun _ _ -> ());
+    release = (fun _ _ -> ());
+    release_all = (fun _ -> ());
+    get = (fun _ _ -> None);
+    revoke = (fun _ _ -> ());
+  }
+
+(* TMHP: a reservation is a hazard-slot publication plus, for validity, a
+   transactional read of the node's deleted flag. Publications are made
+   eagerly (so they are visible before the commit that makes the hand-off
+   real) but only {e dropped} on commit, via Tm.defer with two rotating
+   slots per thread — an aborted attempt must keep its previous window-start
+   protected or the node could be freed and reused under it. *)
+let tmhp_gen_violations = Atomic.make 0
+
+let tmhp_mode ~pool ~deleted ~gen ~hp_threshold =
+  let hazard =
+    Reclaim.Hazard.create ~slots_per_thread:2 ~scan_threshold:hp_threshold
+      ~free:(fun ~thread n -> Mempool.free pool ~thread n)
+      ~node_id:(Mempool.id_of pool) ()
+  in
+  let cur = Array.make Tm.Thread.max_threads 0 in
+  let gens = Array.make Tm.Thread.max_threads 0 in
+  let pending_gen = Array.make Tm.Thread.max_threads 0 in
+  let reserve txn n =
+    let thread = Tm.thread_id txn in
+    let spare = 1 - cur.(thread) in
+    Reclaim.Hazard.protect hazard ~thread ~slot:spare n;
+    pending_gen.(thread) <- gen n;
+    (* Publish-then-revalidate: this transaction is otherwise read-only
+       (the publication is a side effect), so it would skip commit
+       validation — and the publication could then land only after a
+       concurrent remover's retire-scan had already decided to free [n].
+       Forcing read-set validation orders the publication before any
+       conflicting commit, exactly like Michael's re-read of the source
+       pointer after setting a hazard pointer. *)
+    Tm.validate_on_commit txn;
+    Tm.defer txn (fun () ->
+        Reclaim.Hazard.clear hazard ~thread ~slot:cur.(thread);
+        cur.(thread) <- spare;
+        gens.(thread) <- pending_gen.(thread))
+  in
+  let release_all txn =
+    let thread = Tm.thread_id txn in
+    Tm.defer txn (fun () ->
+        Reclaim.Hazard.clear hazard ~thread ~slot:cur.(thread))
+  in
+  let get txn n =
+    if Tm.read txn (deleted n) then None
+    else begin
+      if gen n <> gens.(Tm.thread_id txn) then
+        Atomic.incr tmhp_gen_violations;
+      Some n
+    end
+  in
+  let ops =
+    {
+      Rr.name = "TMHP";
+      strict = true;
+      register = (fun _ -> ());
+      reserve;
+      release = (fun txn _ -> release_all txn);
+      release_all;
+      get;
+      revoke = (fun _ _ -> ());
+    }
+  in
+  {
+    name = "TMHP";
+    strict = true;
+    whole_op = false;
+    ops;
+    invalidate = (fun txn n -> Tm.write txn (deleted n) true);
+    dispose =
+      (fun txn n ->
+        let thread = Tm.thread_id txn in
+        Tm.defer txn (fun () -> Reclaim.Hazard.retire hazard ~thread n));
+    finalize =
+      (fun ~thread ->
+        Reclaim.Hazard.clear_all hazard ~thread;
+        Reclaim.Hazard.scan hazard ~thread);
+    drain = (fun () -> Reclaim.Hazard.drain hazard);
+    hazard_metrics = (fun () -> Some (Reclaim.Hazard.metrics hazard));
+  }
+
+(* REF: the reservation pins the node with a transactional reference count;
+   everything (count, held-slot, deleted flag) is in tvars, so aborts roll
+   the pin back — no rotation tricks needed. Whoever drops the count of an
+   already-deleted node to zero frees it. *)
+let ref_mode ~pool ~deleted ~rc =
+  let held = Array.init Tm.Thread.max_threads (fun _ -> Tm.tvar None) in
+  let free_if_dead txn n =
+    if Reclaim.Rc.get txn (rc n) = 0 && Tm.read txn (deleted n) then begin
+      let thread = Tm.thread_id txn in
+      Tm.defer txn (fun () -> Mempool.free pool ~thread n)
+    end
+  in
+  let release_all txn =
+    let slot = held.(Tm.thread_id txn) in
+    match Tm.read txn slot with
+    | None -> ()
+    | Some n ->
+        ignore (Reclaim.Rc.decr txn (rc n));
+        Tm.write txn slot None;
+        free_if_dead txn n
+  in
+  let reserve txn n =
+    release_all txn;
+    Reclaim.Rc.incr txn (rc n);
+    Tm.write txn held.(Tm.thread_id txn) (Some n)
+  in
+  let get txn n = if Tm.read txn (deleted n) then None else Some n in
+  let ops =
+    {
+      Rr.name = "REF";
+      strict = true;
+      register = (fun _ -> ());
+      reserve;
+      release = (fun txn _ -> release_all txn);
+      release_all;
+      get;
+      revoke = (fun _ _ -> ());
+    }
+  in
+  {
+    name = "REF";
+    strict = true;
+    whole_op = false;
+    ops;
+    invalidate = (fun txn n -> Tm.write txn (deleted n) true);
+    dispose = (fun txn n -> free_if_dead txn n);
+    finalize = (fun ~thread:_ -> ());
+    drain = (fun () -> ());
+    hazard_metrics = (fun () -> None);
+  }
+
+(* EBR: epoch-based reclamation. A thread announces the global epoch when
+   it establishes its first reservation of an operation and stays announced
+   until the operation finishes, so nodes retired during the operation
+   cannot be freed under it (the epoch can advance at most once past a
+   still-announced thread). Validity across transactions is the same
+   logical-deletion flag as TMHP, and the reserving transaction forces
+   commit validation for the same publish-then-revalidate reason. *)
+let ebr_mode ~pool ~deleted ~advance_threshold =
+  let epoch =
+    Reclaim.Epoch.create ~advance_threshold
+      ~free:(fun ~thread n -> Mempool.free pool ~thread n)
+      ()
+  in
+  let active = Array.make Tm.Thread.max_threads false in
+  (* [keep] mediates the engine's release_all-then-reserve hand-off
+     sequence: a reserve in the same transaction cancels the leave that
+     release_all would otherwise perform at commit, so the thread stays
+     announced for the whole multi-transaction operation. *)
+  let keep = Array.make Tm.Thread.max_threads false in
+  let reserve txn n =
+    ignore n;
+    let thread = Tm.thread_id txn in
+    keep.(thread) <- true;
+    if not active.(thread) then begin
+      Reclaim.Epoch.enter epoch ~thread;
+      Tm.validate_on_commit txn
+    end;
+    Tm.defer txn (fun () -> active.(thread) <- true)
+  in
+  let release_all txn =
+    let thread = Tm.thread_id txn in
+    keep.(thread) <- false;
+    Tm.defer txn (fun () ->
+        if (not keep.(thread)) && active.(thread) then begin
+          Reclaim.Epoch.leave epoch ~thread;
+          active.(thread) <- false
+        end)
+  in
+  let get txn n = if Tm.read txn (deleted n) then None else Some n in
+  let ops =
+    {
+      Rr.name = "EBR";
+      strict = true;
+      register = (fun _ -> ());
+      reserve;
+      release = (fun txn _ -> release_all txn);
+      release_all;
+      get;
+      revoke = (fun _ _ -> ());
+    }
+  in
+  {
+    name = "EBR";
+    strict = true;
+    whole_op = false;
+    ops;
+    invalidate = (fun txn n -> Tm.write txn (deleted n) true);
+    dispose =
+      (fun txn n ->
+        let thread = Tm.thread_id txn in
+        Tm.defer txn (fun () -> Reclaim.Epoch.retire epoch ~thread n));
+    finalize =
+      (fun ~thread ->
+        if active.(thread) then begin
+          Reclaim.Epoch.leave epoch ~thread;
+          active.(thread) <- false
+        end);
+    drain = (fun () -> Reclaim.Epoch.drain epoch);
+    hazard_metrics =
+      (fun () ->
+        (* report through the common deferred-reclamation record;
+           "scans" counts epoch advances here *)
+        let m = Reclaim.Epoch.metrics epoch in
+        Some
+          {
+            Reclaim.Hazard.retired_total = m.Reclaim.Epoch.retired_total;
+            freed_total = m.Reclaim.Epoch.freed_total;
+            backlog = m.Reclaim.Epoch.backlog;
+            max_backlog = m.Reclaim.Epoch.max_backlog;
+            scans = m.Reclaim.Epoch.advances;
+            delay_total_s = m.Reclaim.Epoch.delay_total_s;
+            delay_max_s = m.Reclaim.Epoch.delay_max_s;
+          });
+  }
+
+let rr_mode m ~pool ~hash ~equal ~rr_config =
+  let module M = (val m : Rr.S) in
+  let ops = Rr.instantiate m ?config:rr_config ~hash ~equal () in
+  {
+    name = M.name;
+    strict = M.strict;
+    whole_op = false;
+    ops;
+    invalidate = (fun txn n -> ops.Rr.revoke txn n);
+    dispose =
+      (fun txn n ->
+        let thread = Tm.thread_id txn in
+        Tm.defer txn (fun () -> Mempool.free pool ~thread n));
+    finalize = (fun ~thread:_ -> ());
+    drain = (fun () -> ());
+    hazard_metrics = (fun () -> None);
+  }
+
+let htm_mode ~pool =
+  {
+    name = "HTM";
+    strict = true;
+    whole_op = true;
+    ops = no_op_ops "HTM";
+    invalidate = (fun _ _ -> ());
+    dispose =
+      (fun txn n ->
+        let thread = Tm.thread_id txn in
+        Tm.defer txn (fun () -> Mempool.free pool ~thread n));
+    finalize = (fun ~thread:_ -> ());
+    drain = (fun () -> ());
+    hazard_metrics = (fun () -> None);
+  }
+
+let create kind ~pool ~deleted ~rc ~gen ~hash ~equal ?rr_config
+    ?(hp_threshold = 64) () =
+  match kind with
+  | Rr_kind m -> rr_mode m ~pool ~hash ~equal ~rr_config
+  | Htm -> htm_mode ~pool
+  | Tmhp -> tmhp_mode ~pool ~deleted ~gen ~hp_threshold
+  | Ref -> ref_mode ~pool ~deleted ~rc
+  | Ebr -> ebr_mode ~pool ~deleted ~advance_threshold:hp_threshold

@@ -1,0 +1,54 @@
+type t = {
+  id : int;
+  pstate : int Atomic.t;
+  gen : int Atomic.t;
+  key : int Tm.tvar;
+  next : t option Tm.tvar array;
+  level : int Tm.tvar;
+  deleted : bool Tm.tvar;
+  rc : Reclaim.Rc.t;
+}
+
+let max_level = 16
+let poisoned_key = min_int
+
+let make id =
+  {
+    id;
+    pstate = Atomic.make 0;
+    gen = Atomic.make 0;
+    key = Tm.tvar poisoned_key;
+    next = Array.init max_level (fun _ -> Tm.tvar None);
+    level = Tm.tvar 0;
+    deleted = Tm.tvar false;
+    rc = Reclaim.Rc.make 0;
+  }
+
+let poison n =
+  Tm.poke n.key poisoned_key;
+  Tm.poke n.level 0;
+  Tm.poke n.deleted true;
+  Array.iter (fun nx -> Tm.poke nx None) n.next
+
+let make_pool ?strategy () =
+  Mempool.create ?strategy ~make ~node_id:(fun n -> n.id)
+    ~state:(fun n -> n.pstate)
+    ~poison ()
+
+let sentinel () =
+  let n = make (-1) in
+  Tm.poke n.level max_level;
+  n
+
+let hash n =
+  let h = n.id * 0x9e3779b1 in
+  h lxor (h lsr 16)
+
+let equal a b = a == b
+
+let alloc pool ~thread =
+  let n = Mempool.alloc pool ~thread in
+  Atomic.incr n.gen;
+  Tm.poke n.deleted false;
+  Array.iter (fun nx -> Tm.poke nx None) n.next;
+  n

@@ -1,0 +1,56 @@
+type t = {
+  id : int;
+  pstate : int Atomic.t;
+  gen : int Atomic.t;
+  key : int Tm.tvar;
+  left : t option Tm.tvar;
+  right : t option Tm.tvar;
+  side : bool Tm.tvar;
+  deleted : bool Tm.tvar;
+  rc : Reclaim.Rc.t;
+}
+
+let poisoned_key = min_int
+
+let make id =
+  {
+    id;
+    pstate = Atomic.make 0;
+    gen = Atomic.make 0;
+    key = Tm.tvar poisoned_key;
+    left = Tm.tvar None;
+    right = Tm.tvar None;
+    side = Tm.tvar false;
+    deleted = Tm.tvar false;
+    rc = Reclaim.Rc.make 0;
+  }
+
+let poison n =
+  Tm.poke n.key poisoned_key;
+  Tm.poke n.left None;
+  Tm.poke n.right None;
+  Tm.poke n.deleted true
+
+let make_pool ?strategy () =
+  Mempool.create ?strategy ~make ~node_id:(fun n -> n.id)
+    ~state:(fun n -> n.pstate)
+    ~poison ()
+
+let sentinel ~key =
+  let n = make (-1) in
+  Tm.poke n.key key;
+  n
+
+let hash n =
+  let h = n.id * 0x9e3779b1 in
+  h lxor (h lsr 16)
+
+let equal a b = a == b
+
+let alloc pool ~thread =
+  let n = Mempool.alloc pool ~thread in
+  Atomic.incr n.gen;
+  Tm.poke n.deleted false;
+  Tm.poke n.left None;
+  Tm.poke n.right None;
+  n

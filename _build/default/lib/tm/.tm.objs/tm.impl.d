@@ -1,0 +1,1 @@
+lib/tm/tm.ml: Array Atomic Backoff Domain Fun Gclock List Mutex Obj Tm_stats

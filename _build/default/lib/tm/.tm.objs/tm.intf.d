@@ -1,0 +1,1 @@
+lib/tm/tm.mli: Tm_stats

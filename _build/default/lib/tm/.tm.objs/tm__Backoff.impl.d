@@ -1,0 +1,1 @@
+lib/tm/backoff.ml: Domain

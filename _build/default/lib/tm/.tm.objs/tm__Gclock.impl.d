@@ -1,0 +1,1 @@
+lib/tm/gclock.ml: Atomic

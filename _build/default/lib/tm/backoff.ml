@@ -1,0 +1,27 @@
+type t = {
+  min_wait : int;
+  max_wait : int;
+  mutable cur : int;
+  mutable seed : int;
+}
+
+let create ?(min_wait = 16) ?(max_wait = 4096) () =
+  { min_wait; max_wait; cur = min_wait; seed = 0x9e3779b9 }
+
+(* xorshift step; cheap thread-local randomness, no global state. *)
+let next_random b =
+  let s = b.seed in
+  let s = s lxor (s lsl 13) in
+  let s = s lxor (s lsr 7) in
+  let s = s lxor (s lsl 17) in
+  b.seed <- s;
+  s land max_int
+
+let once b =
+  let spins = b.min_wait + (next_random b mod b.cur) in
+  for _ = 1 to spins do
+    Domain.cpu_relax ()
+  done;
+  b.cur <- min b.max_wait (b.cur * 2)
+
+let reset b = b.cur <- b.min_wait

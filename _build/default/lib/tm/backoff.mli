@@ -1,0 +1,18 @@
+(** Randomized exponential backoff for contended retry loops.
+
+    Every wait spins on {!Domain.cpu_relax}, which yields the processor on
+    oversubscribed machines; this matters because the benchmark harness runs
+    more domains than hardware threads. *)
+
+type t
+
+val create : ?min_wait:int -> ?max_wait:int -> unit -> t
+(** [create ()] makes a fresh backoff whose first wait spins for roughly
+    [min_wait] iterations and doubles up to [max_wait]. The number of
+    iterations is randomized to de-synchronize colliding threads. *)
+
+val once : t -> unit
+(** [once b] waits for the current duration and doubles the next one. *)
+
+val reset : t -> unit
+(** [reset b] returns [b] to its initial (shortest) wait. *)

@@ -1,0 +1,7 @@
+let clock = Atomic.make 0
+
+let sample () = Atomic.get clock
+
+let advance () = 1 + Atomic.fetch_and_add clock 1
+
+let reset_for_testing () = Atomic.set clock 0

@@ -1,0 +1,15 @@
+(** The TL2 global version clock.
+
+    Every writing transaction increments the clock at commit; the value it
+    obtains is its unique commit timestamp ([wv]). Readers sample the clock
+    at begin ([rv]) and only accept locations whose version is [<= rv]. *)
+
+val sample : unit -> int
+(** Current clock value; used as a transaction's read version. *)
+
+val advance : unit -> int
+(** Atomically increment the clock and return the {e new} value; used as a
+    writing transaction's unique commit timestamp. *)
+
+val reset_for_testing : unit -> unit
+(** Reset to zero. Only for unit tests that assert on absolute stamps. *)

@@ -1,0 +1,508 @@
+module Stats = Tm_stats
+
+type abort_cause = Read_invalid | Lock_busy | Serial_pending | User_retry
+
+exception Abort of abort_cause
+
+(* A tvar couples a TL2 versioned lock word with the value cell. The lock
+   word encodes [version lsl 1 lor locked]. The value lives in its own
+   [Atomic.t] so the seqlock pattern (lock, value, lock) is free of plain
+   data races under the OCaml memory model. *)
+type 'a tvar = { lock : int Atomic.t; cell : 'a Atomic.t; uid : int }
+
+let tvar_uid = Atomic.make 0
+let tvar v = { lock = Atomic.make 0; cell = Atomic.make v; uid = Atomic.fetch_and_add tvar_uid 1 }
+let tvar_id tv = tv.uid
+
+let locked word = word land 1 = 1
+let version word = word asr 1
+
+(* Write-set entry. The existential is only ever unpacked when the stored
+   tvar is physically equal to the one being looked up, which implies their
+   type parameters are equal, making the [Obj.magic] in [wset_find] and
+   [wset_update] safe. This is the standard OCaml idiom for heterogeneous
+   transaction logs (cf. kcas). *)
+type wentry = W : { tv : 'a tvar; mutable v : 'a } -> wentry
+
+type txn = {
+  mutable tid : int;
+  mutable rv : int;
+  mutable serial : bool;
+  mutable serial_wv : int;
+  mutable active : bool;
+  mutable r_locks : int Atomic.t array;
+  mutable r_words : int array;
+  mutable rn : int;
+  mutable wset : wentry array;
+  mutable wn : int;
+  mutable defers : (unit -> unit) list;
+  mutable stamp : int;
+  mutable read_only : bool;
+  mutable must_validate : bool;
+}
+
+type 'a result = {
+  value : 'a;
+  stamp : int;
+  read_only : bool;
+  attempts : int;
+  serial : bool;
+}
+
+let dummy_lock = Atomic.make 0
+let dummy_wentry = W { tv = { lock = Atomic.make 0; cell = Atomic.make 0; uid = -1 }; v = 0 }
+
+let max_threads = 128
+
+(* Global serial token and per-thread committing flags implementing the
+   Dekker-style quiescence handshake between speculative committers and the
+   serial fallback. *)
+let serial_token = Atomic.make 0
+let committing = Array.init max_threads (fun _ -> Atomic.make false)
+let serial_active () = Atomic.get serial_token = 1
+
+let default_attempts = Atomic.make 4
+let default_max_attempts () = Atomic.get default_attempts
+let set_default_max_attempts n =
+  if n < 1 then invalid_arg "Tm.set_default_max_attempts";
+  Atomic.set default_attempts n
+
+type thread_state = {
+  id : int;
+  txn : txn;
+  backoff : Backoff.t;
+  t_stats : Tm_stats.t;
+}
+
+let fresh_txn tid =
+  {
+    tid;
+    rv = 0;
+    serial = false;
+    serial_wv = 0;
+    active = false;
+    r_locks = Array.make 64 dummy_lock;
+    r_words = Array.make 64 0;
+    rn = 0;
+    wset = Array.make 16 dummy_wentry;
+    wn = 0;
+    defers = [];
+    stamp = 0;
+    read_only = true;
+    must_validate = false;
+  }
+
+module Thread = struct
+  let max_threads = max_threads
+
+  let pool_mutex = Mutex.create ()
+  let free_ids : int list ref = ref []
+  let next_id = ref 0
+
+  let acquire_id () =
+    Mutex.lock pool_mutex;
+    let id =
+      match !free_ids with
+      | id :: rest ->
+          free_ids := rest;
+          id
+      | [] ->
+          let id = !next_id in
+          if id >= max_threads then (
+            Mutex.unlock pool_mutex;
+            failwith "Tm.Thread.register: thread-id space exhausted");
+          incr next_id;
+          id
+    in
+    Mutex.unlock pool_mutex;
+    id
+
+  let release_id id =
+    Mutex.lock pool_mutex;
+    free_ids := id :: !free_ids;
+    Mutex.unlock pool_mutex
+
+  let dls_key : thread_state option Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> None)
+
+  let state () =
+    match Domain.DLS.get dls_key with
+    | Some st -> st
+    | None ->
+        let id = acquire_id () in
+        let st =
+          { id; txn = fresh_txn id; backoff = Backoff.create (); t_stats = Tm_stats.create () }
+        in
+        Domain.DLS.set dls_key (Some st);
+        st
+
+  let register () = (state ()).id
+
+  let release () =
+    match Domain.DLS.get dls_key with
+    | None -> ()
+    | Some st ->
+        Domain.DLS.set dls_key None;
+        release_id st.id
+
+  let with_registered f =
+    let id = register () in
+    Fun.protect ~finally:release (fun () -> f id)
+
+  let id () = register ()
+  let stats () = (state ()).t_stats
+end
+
+(* ---- read/write sets ---- *)
+
+let rset_push txn lock word =
+  if txn.rn = Array.length txn.r_locks then begin
+    let n = 2 * txn.rn in
+    let locks = Array.make n dummy_lock and words = Array.make n 0 in
+    Array.blit txn.r_locks 0 locks 0 txn.rn;
+    Array.blit txn.r_words 0 words 0 txn.rn;
+    txn.r_locks <- locks;
+    txn.r_words <- words
+  end;
+  txn.r_locks.(txn.rn) <- lock;
+  txn.r_words.(txn.rn) <- word;
+  txn.rn <- txn.rn + 1
+
+let wset_find : type a. txn -> a tvar -> a option =
+ fun txn tv ->
+  let rec go i =
+    if i >= txn.wn then None
+    else
+      let (W e) = txn.wset.(i) in
+      if Obj.repr e.tv == Obj.repr tv then Some (Obj.magic e.v) else go (i + 1)
+  in
+  go 0
+
+let wset_put : type a. txn -> a tvar -> a -> unit =
+ fun txn tv v ->
+  let rec go i =
+    if i >= txn.wn then begin
+      if txn.wn = Array.length txn.wset then begin
+        let arr = Array.make (2 * txn.wn) dummy_wentry in
+        Array.blit txn.wset 0 arr 0 txn.wn;
+        txn.wset <- arr
+      end;
+      txn.wset.(txn.wn) <- W { tv; v };
+      txn.wn <- txn.wn + 1
+    end
+    else
+      let (W e) = txn.wset.(i) in
+      if Obj.repr e.tv == Obj.repr tv then e.v <- Obj.magic v else go (i + 1)
+  in
+  go 0
+
+let wset_holds_lock txn lock =
+  let rec go i =
+    if i >= txn.wn then false
+    else
+      let (W e) = txn.wset.(i) in
+      e.tv.lock == lock || go (i + 1)
+  in
+  go 0
+
+let reset_logs txn =
+  (* Clear stored references so the GC can collect dead tvars. *)
+  for i = 0 to txn.rn - 1 do
+    txn.r_locks.(i) <- dummy_lock
+  done;
+  for i = 0 to txn.wn - 1 do
+    txn.wset.(i) <- dummy_wentry
+  done;
+  txn.rn <- 0;
+  txn.wn <- 0;
+  txn.defers <- [];
+  txn.read_only <- true;
+  txn.must_validate <- false
+
+(* ---- transactional operations ---- *)
+
+let read (txn : txn) tv =
+  if txn.serial then Atomic.get tv.cell
+  else
+    match wset_find txn tv with
+    | Some v -> v
+    | None ->
+        let l1 = Atomic.get tv.lock in
+        if locked l1 then raise (Abort Lock_busy);
+        let v = Atomic.get tv.cell in
+        let l2 = Atomic.get tv.lock in
+        if l1 <> l2 then raise (Abort Read_invalid);
+        if version l1 > txn.rv then raise (Abort Read_invalid);
+        rset_push txn tv.lock l1;
+        v
+
+let write (txn : txn) tv v =
+  txn.read_only <- false;
+  if txn.serial then begin
+    (* Irrevocable direct publication: mark locked, write, release with the
+       serial stamp so concurrent speculative readers abort rather than
+       pairing the new value with an old version. *)
+    Atomic.set tv.lock ((txn.serial_wv lsl 1) lor 1);
+    Atomic.set tv.cell v;
+    Atomic.set tv.lock (txn.serial_wv lsl 1)
+  end
+  else wset_put txn tv v
+
+let retry (txn : txn) =
+  if txn.serial then failwith "Tm.retry: serial transactions are irrevocable";
+  raise (Abort User_retry)
+
+let defer (txn : txn) f = txn.defers <- f :: txn.defers
+
+let validate_on_commit (txn : txn) = txn.must_validate <- true
+let thread_id (txn : txn) = txn.tid
+let is_serial (txn : txn) = txn.serial
+let commit_stamp (txn : txn) = txn.stamp
+
+let run_defers (txn : txn) =
+  let ds = List.rev txn.defers in
+  txn.defers <- [];
+  List.iter (fun f -> f ()) ds
+
+(* ---- commit ---- *)
+
+let unlock_first_n txn n =
+  for i = 0 to n - 1 do
+    let (W e) = txn.wset.(i) in
+    let cur = Atomic.get e.tv.lock in
+    Atomic.set e.tv.lock (cur land lnot 1)
+  done
+
+let commit (txn : txn) =
+  if txn.wn = 0 then begin
+    (* A read-only snapshot at [rv] is always consistent, but a transaction
+       whose side effects must be ordered before later conflicting commits
+       (hazard publication) re-validates: if any location it read has been
+       overwritten or locked since, the publication may have come too late
+       to be seen, so abort. *)
+    if txn.must_validate then
+      for i = 0 to txn.rn - 1 do
+        if Atomic.get txn.r_locks.(i) <> txn.r_words.(i) then
+          raise (Abort Read_invalid)
+      done;
+    txn.stamp <- txn.rv;
+    run_defers txn
+  end
+  else begin
+    let flag = committing.(txn.tid) in
+    Atomic.set flag true;
+    if serial_active () then begin
+      Atomic.set flag false;
+      raise (Abort Serial_pending)
+    end;
+    (* Lock the write set; abort immediately on any busy lock (no spinning,
+       so lock acquisition cannot deadlock). *)
+    let rec lock_from i =
+      if i < txn.wn then begin
+        let (W e) = txn.wset.(i) in
+        let l = Atomic.get e.tv.lock in
+        if locked l || not (Atomic.compare_and_set e.tv.lock l (l lor 1))
+        then begin
+          unlock_first_n txn i;
+          Atomic.set flag false;
+          raise (Abort Lock_busy)
+        end;
+        lock_from (i + 1)
+      end
+    in
+    lock_from 0;
+    let wv = Gclock.advance () in
+    (* If no other transaction committed since we began, the read set is
+       trivially valid (standard TL2 optimization). *)
+    if wv <> txn.rv + 1 then begin
+      let rec validate i =
+        if i < txn.rn then begin
+          let lock = txn.r_locks.(i) and word = txn.r_words.(i) in
+          let cur = Atomic.get lock in
+          let ok =
+            cur = word || (cur = word lor 1 && wset_holds_lock txn lock)
+          in
+          if not ok then begin
+            unlock_first_n txn txn.wn;
+            Atomic.set flag false;
+            raise (Abort Read_invalid)
+          end;
+          validate (i + 1)
+        end
+      in
+      validate 0
+    end;
+    for i = 0 to txn.wn - 1 do
+      let (W e) = txn.wset.(i) in
+      Atomic.set e.tv.cell e.v
+    done;
+    for i = 0 to txn.wn - 1 do
+      let (W e) = txn.wset.(i) in
+      Atomic.set e.tv.lock (wv lsl 1)
+    done;
+    Atomic.set flag false;
+    txn.stamp <- wv;
+    run_defers txn
+  end
+
+(* ---- serial fallback ---- *)
+
+let serial_acquire () =
+  let b = Backoff.create () in
+  while not (Atomic.compare_and_set serial_token 0 1) do
+    Backoff.once b
+  done;
+  (* Quiesce in-flight speculative committers. *)
+  Array.iter
+    (fun flag ->
+      while Atomic.get flag do
+        Domain.cpu_relax ()
+      done)
+    committing
+
+let serial_release () = Atomic.set serial_token 0
+
+let serial_run st f =
+  let txn = st.txn in
+  serial_acquire ();
+  Fun.protect ~finally:serial_release (fun () ->
+      txn.serial <- true;
+      txn.serial_wv <- Gclock.advance ();
+      txn.active <- true;
+      txn.rv <- txn.serial_wv;
+      txn.defers <- [];
+      txn.read_only <- true;
+      let finish v =
+        txn.stamp <- txn.serial_wv;
+        run_defers txn;
+        txn.active <- false;
+        txn.serial <- false;
+        v
+      in
+      match f txn with
+      | v -> finish v
+      | exception e ->
+          txn.defers <- [];
+          txn.active <- false;
+          txn.serial <- false;
+          raise e)
+
+(* ---- the atomic runner ---- *)
+
+let wait_serial_clear () =
+  while serial_active () do
+    Domain.cpu_relax ()
+  done
+
+(* Sample a read version that cannot straddle a serial transaction. A
+   serial transaction advances the clock to [wv_s] {e before} performing
+   its direct writes; a speculative transaction that sampled [rv >= wv_s]
+   while those writes were still in flight could read pre-serial values and
+   wrongly attribute them to stamp [rv]. Observing the serial token clear
+   {e after} sampling proves every serial transaction with [wv_s <= rv]
+   has fully finished (the token is held from before the clock bump until
+   after the last write), so the snapshot at [rv] is well-defined; later
+   serial transactions get [wv_s > rv] and are caught by version checks. *)
+let rec sample_rv () =
+  wait_serial_clear ();
+  let rv = Gclock.sample () in
+  if serial_active () then sample_rv () else rv
+
+let atomic_stamped ?max_attempts f =
+  let st = Thread.state () in
+  let txn = st.txn in
+  if txn.active then
+    (* Flat nesting: run inside the enclosing transaction. *)
+    let v = f txn in
+    { value = v; stamp = txn.stamp; read_only = txn.read_only;
+      attempts = 0; serial = txn.serial }
+  else begin
+    let max_attempts =
+      match max_attempts with Some n -> n | None -> default_max_attempts ()
+    in
+    let stats = st.t_stats in
+    Backoff.reset st.backoff;
+    let rec attempt n total =
+      if n >= max_attempts then begin
+        stats.fallbacks <- stats.fallbacks + 1;
+        stats.started <- stats.started + 1;
+        let v = serial_run st f in
+        stats.commits <- stats.commits + 1;
+        { value = v; stamp = txn.stamp; read_only = txn.read_only;
+          attempts = total + 1; serial = true }
+      end
+      else begin
+        txn.rv <- sample_rv ();
+        txn.active <- true;
+        stats.started <- stats.started + 1;
+        match
+          let v = f txn in
+          commit txn;
+          v
+        with
+        | v ->
+            txn.active <- false;
+            let read_only = txn.read_only in
+            reset_logs txn;
+            stats.commits <- stats.commits + 1;
+            { value = v; stamp = txn.stamp; read_only;
+              attempts = total + 1; serial = false }
+        | exception Abort cause ->
+            txn.active <- false;
+            reset_logs txn;
+            let next =
+              match cause with
+              | Read_invalid ->
+                  stats.aborts_read <- stats.aborts_read + 1;
+                  n + 1
+              | Lock_busy ->
+                  stats.aborts_lock <- stats.aborts_lock + 1;
+                  n + 1
+              | Serial_pending ->
+                  stats.aborts_serial <- stats.aborts_serial + 1;
+                  n + 1
+              | User_retry ->
+                  stats.aborts_user <- stats.aborts_user + 1;
+                  (* Explicit retries wait for state to change; they do not
+                     escalate to the (irrevocable) serial mode. *)
+                  n
+            in
+            Backoff.once st.backoff;
+            attempt next (total + 1)
+        | exception e ->
+            txn.active <- false;
+            reset_logs txn;
+            raise e
+      end
+    in
+    attempt 0 0
+  end
+
+let atomic ?max_attempts f = (atomic_stamped ?max_attempts f).value
+
+let current_txn () =
+  match Domain.DLS.get Thread.dls_key with
+  | Some st when st.txn.active -> Some st.txn
+  | _ -> None
+
+let peek tv =
+  let rec go () =
+    let l1 = Atomic.get tv.lock in
+    if locked l1 then begin
+      Domain.cpu_relax ();
+      go ()
+    end
+    else
+      let v = Atomic.get tv.cell in
+      let l2 = Atomic.get tv.lock in
+      if l1 <> l2 then go () else v
+  in
+  go ()
+
+let poke tv v =
+  let wv = Gclock.advance () in
+  Atomic.set tv.lock ((wv lsl 1) lor 1);
+  Atomic.set tv.cell v;
+  Atomic.set tv.lock (wv lsl 1)
+
+let _ = ignore dummy_lock

@@ -1,0 +1,158 @@
+(** A TL2-style software transactional memory with a serial-irrevocable
+    fallback.
+
+    This module plays the role of the paper's TM substrate (Intel TSX HTM
+    driven through GCC's language-level TM). The paper's algorithms require
+    only that the TM provide a total order on transactions and make
+    conflicts manifest immediately (Sec. 3, System Model); TL2 gives both:
+
+    - every location is protected by a versioned lock word;
+    - transactions sample a global version clock at begin ([rv]) and abort
+      any read of a location whose version exceeds [rv] (opacity — doomed
+      transactions never observe inconsistent state, the software analog of
+      HTM's immediate aborts);
+    - writing transactions obtain a unique commit stamp [wv] from the clock,
+      which totally orders them. The stamp is exposed through
+      {!atomic_stamped} so tests can {e check} serializability by replaying
+      committed operations in stamp order.
+
+    GCC's HTM policy of retrying a few times and then falling back to a
+    serial mode is mirrored by {!atomic}'s [max_attempts]: once exhausted,
+    the transaction runs irrevocably under a global serial token, after
+    waiting for in-flight committers to quiesce. *)
+
+module Stats = Tm_stats
+(** Per-thread commit/abort counters; see {!Tm_stats}. *)
+
+type 'a tvar
+(** A transactional variable. All access from inside a transaction goes
+    through {!read} and {!write}; initialization and post-quiescence
+    inspection may use {!peek} and {!poke}. *)
+
+type txn
+(** A transaction context, valid only during the callback passed to
+    {!atomic}. *)
+
+type abort_cause =
+  | Read_invalid  (** a read (or commit-time validation) saw a newer version *)
+  | Lock_busy  (** a location was locked by a concurrent committer *)
+  | Serial_pending  (** a serial transaction is running; back off *)
+  | User_retry  (** explicit {!retry} *)
+
+exception Abort of abort_cause
+(** Raised internally to unwind an attempt. It never escapes {!atomic};
+    it is exposed for completeness and for white-box tests. *)
+
+val tvar : 'a -> 'a tvar
+(** [tvar v] allocates a fresh transactional variable holding [v]. *)
+
+val tvar_id : _ tvar -> int
+(** A unique id per tvar, for debugging and hashing. *)
+
+module Thread : sig
+  val max_threads : int
+  (** Capacity of the thread-id space (ids are recycled by {!release}). *)
+
+  val register : unit -> int
+  (** Claim a thread id for the calling domain. Idempotent per domain.
+      @raise Failure when more than {!max_threads} ids are live. *)
+
+  val release : unit -> unit
+  (** Return this domain's id to the pool. Call only when the domain will
+      perform no further transactions (typically just before it finishes);
+      a released id may be handed to another domain. *)
+
+  val with_registered : (int -> 'a) -> 'a
+  (** [with_registered f] registers, runs [f id], and releases even on
+      exceptions. The worker-thread entry point used by the harness. *)
+
+  val id : unit -> int
+  (** This domain's id, registering it on first use. *)
+
+  val stats : unit -> Tm_stats.t
+  (** The calling domain's live statistics record (updated in place by
+      {!atomic}; copy it before the domain finishes if it must outlive the
+      run). *)
+end
+
+val read : txn -> 'a tvar -> 'a
+(** Transactional read. Returns the transaction's own pending write if any;
+    otherwise performs an opaque (validated) read.
+    @raise Abort on conflict. *)
+
+val write : txn -> 'a tvar -> 'a -> unit
+(** Transactional write, buffered until commit. *)
+
+val retry : txn -> 'a
+(** Abort the current attempt and re-execute from the beginning. Does not
+    count toward the serial-fallback threshold. Must not be used from serial
+    mode (serial transactions are irrevocable);
+    @raise Failure in serial mode. *)
+
+val validate_on_commit : txn -> unit
+(** Request commit-time read-set validation even if this transaction turns
+    out to be read-only. A read-only TL2 transaction is always a consistent
+    snapshot at [rv], so it normally commits without validation; but a
+    transaction whose {e side effects} must be ordered before later
+    conflicting commits — publishing a hazard pointer for a node it read —
+    must confirm at commit that nothing it read has changed, the TM analog
+    of the hazard-pointer publish-then-revalidate rule. Aborts with
+    [Read_invalid] if validation fails. *)
+
+val defer : txn -> (unit -> unit) -> unit
+(** [defer txn f] runs [f] immediately after this transaction commits, in
+    registration order, and discards it if the attempt aborts. This is how
+    transactional allocators defer [free]: Listing 5 calls [delete(curr)]
+    inside a transaction, which must not take effect on abort. *)
+
+val thread_id : txn -> int
+val is_serial : txn -> bool
+
+val commit_stamp : txn -> int
+(** The stamp of the transaction that just committed. Only meaningful
+    inside {!defer} callbacks (which run right after commit); data
+    structures use it to record where an operation's reservation was
+    established. *)
+
+type 'a result = {
+  value : 'a;
+  stamp : int;  (** commit timestamp: unique [wv] for writers, [rv] for
+                    read-only transactions *)
+  read_only : bool;
+  attempts : int;  (** total attempts including the successful one *)
+  serial : bool;  (** whether the committing attempt ran in serial mode *)
+}
+
+val atomic : ?max_attempts:int -> (txn -> 'a) -> 'a
+(** [atomic f] runs [f] as a transaction, retrying on conflicts with
+    randomized exponential backoff. After [max_attempts] conflict aborts
+    (default {!default_max_attempts}), the transaction is re-run under the
+    global serial token and cannot abort. Nested calls are flattened into
+    the enclosing transaction. *)
+
+val atomic_stamped : ?max_attempts:int -> (txn -> 'a) -> 'a result
+(** Like {!atomic} but also reports the commit stamp and attempt counts. *)
+
+val default_max_attempts : unit -> int
+
+val set_default_max_attempts : int -> unit
+(** The paper uses GCC's default of 2 retries for lists and raises it to 8
+    for trees; benchmarks adjust this knob per data structure. *)
+
+val peek : 'a tvar -> 'a
+(** Non-transactional read. Only meaningful during initialization or after
+    all worker threads have quiesced. *)
+
+val poke : 'a tvar -> 'a -> unit
+(** Non-transactional write with a fresh version (so concurrent speculative
+    readers, if any, abort rather than observe a torn snapshot). Intended
+    for initialization. *)
+
+val serial_active : unit -> bool
+(** Whether a serial transaction currently holds the token (for tests). *)
+
+val current_txn : unit -> txn option
+(** The calling domain's active transaction, if any. Lets operations that
+    normally run stand-alone detect that they were called {e inside} an
+    enclosing transaction (flat nesting) and defer side effects — such as
+    returning an unused node to a pool — until the enclosing commit. *)

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Driver Factories Filename Harness Hashtbl List Option QCheck QCheck_alcotest Report Rr Serial_check Set_ops Structs Sys Tm Workload

@@ -1,0 +1,1 @@
+test/test_lockfree.ml: Alcotest Domain Hashtbl List Lockfree Mempool QCheck QCheck_alcotest Reclaim Test_util Tm

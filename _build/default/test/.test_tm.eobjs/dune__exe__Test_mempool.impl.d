@@ -1,0 +1,1 @@
+test/test_mempool.ml: Alcotest Atomic Domain List Mempool QCheck QCheck_alcotest Tm

@@ -1,0 +1,1 @@
+test/test_reclaim.ml: Alcotest Atomic Domain List Reclaim Tm

@@ -1,0 +1,1 @@
+test/test_rr.ml: Alcotest Atomic Domain Hashtbl Int List Printf QCheck QCheck_alcotest Rr String Test_util Tm

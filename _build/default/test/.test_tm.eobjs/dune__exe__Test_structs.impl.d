@@ -1,0 +1,1 @@
+test/test_structs.ml: Alcotest Array Atomic Domain Driver Factories Harness Hashtbl List Mempool Printf QCheck QCheck_alcotest Reclaim Rr Set_ops String Structs Test_util Tm Workload

@@ -1,0 +1,1 @@
+test/test_tm.ml: Alcotest Array Atomic Domain Gen List Printf QCheck QCheck_alcotest Tm

@@ -1,0 +1,1 @@
+test/test_util.ml: Condition Domain Fun List Mutex Option Tm

@@ -1,0 +1,284 @@
+(* Tests for the non-transactional baselines: the Harris–Michael lock-free
+   list (leaky and hazard-pointer variants) and the Natarajan–Mittal
+   lock-free external BST. *)
+
+let checkb = Alcotest.(check bool)
+let check = Alcotest.(check int)
+
+(* ---- generic sequential battery over a (insert, remove, lookup) triple *)
+
+let sequential_battery ~insert ~remove ~lookup ~size ~to_list ~chk tid =
+  checkb "insert new" true (insert tid 10);
+  checkb "insert dup" false (insert tid 10);
+  checkb "lookup present" true (lookup tid 10);
+  checkb "lookup absent" false (lookup tid 11);
+  checkb "remove present" true (remove tid 10);
+  checkb "remove absent" false (remove tid 10);
+  List.iter (fun k -> ignore (insert tid k)) [ 5; 3; 8; 1; 9 ];
+  Alcotest.(check (list int)) "sorted" [ 1; 3; 5; 8; 9 ] (to_list ());
+  check "size" 5 (size ());
+  checkb "invariants" true (chk () = Ok ())
+
+let model_churn ~insert ~remove ~lookup ~to_list ~chk tid =
+  let rng = Test_util.Prng.create 7 in
+  let model = Hashtbl.create 64 in
+  for _ = 1 to 4000 do
+    let k = 1 + Test_util.Prng.int rng 32 in
+    match Test_util.Prng.int rng 3 with
+    | 0 ->
+        let e = not (Hashtbl.mem model k) in
+        if e then Hashtbl.replace model k ();
+        checkb "insert agrees" e (insert tid k)
+    | 1 ->
+        let e = Hashtbl.mem model k in
+        if e then Hashtbl.remove model k;
+        checkb "remove agrees" e (remove tid k)
+    | _ -> checkb "lookup agrees" (Hashtbl.mem model k) (lookup tid k)
+  done;
+  let want =
+    List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) model [])
+  in
+  Alcotest.(check (list int)) "final contents" want (to_list ());
+  checkb "invariants" true (chk () = Ok ())
+
+let concurrent_stress ~insert ~remove ~lookup ~finalize ~drain ~size ~chk () =
+  let workers =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            Tm.Thread.with_registered (fun tid ->
+                let rng = Test_util.Prng.create (d * 13) in
+                let ins = ref 0 and rem = ref 0 in
+                for _ = 1 to 5000 do
+                  let k = 1 + Test_util.Prng.int rng 128 in
+                  match Test_util.Prng.int rng 3 with
+                  | 0 -> if insert tid k then incr ins
+                  | 1 -> if remove tid k then incr rem
+                  | _ -> ignore (lookup tid k)
+                done;
+                finalize tid;
+                (!ins, !rem))))
+  in
+  let rs = List.map Domain.join workers in
+  drain ();
+  let ins = List.fold_left (fun a (i, _) -> a + i) 0 rs in
+  let rem = List.fold_left (fun a (_, r) -> a + r) 0 rs in
+  check "size accounting" (ins - rem) (size ());
+  checkb "invariants" true (chk () = Ok ())
+
+(* ---- Harris list ---- *)
+
+let harris_fns l =
+  ( (fun tid k -> Lockfree.Harris_list.insert l ~thread:tid k),
+    (fun tid k -> Lockfree.Harris_list.remove l ~thread:tid k),
+    (fun tid k -> Lockfree.Harris_list.lookup l ~thread:tid k) )
+
+let test_harris_sequential reclaim () =
+  Tm.Thread.with_registered (fun tid ->
+      let l = Lockfree.Harris_list.create ~reclaim () in
+      let insert, remove, lookup = harris_fns l in
+      sequential_battery ~insert ~remove ~lookup
+        ~size:(fun () -> Lockfree.Harris_list.size l)
+        ~to_list:(fun () -> Lockfree.Harris_list.to_list l)
+        ~chk:(fun () -> Lockfree.Harris_list.check l)
+        tid)
+
+let test_harris_churn reclaim () =
+  Tm.Thread.with_registered (fun tid ->
+      let l = Lockfree.Harris_list.create ~reclaim () in
+      let insert, remove, lookup = harris_fns l in
+      model_churn ~insert ~remove ~lookup
+        ~to_list:(fun () -> Lockfree.Harris_list.to_list l)
+        ~chk:(fun () -> Lockfree.Harris_list.check l)
+        tid)
+
+let test_harris_concurrent reclaim () =
+  Tm.Thread.with_registered (fun _ ->
+      let l = Lockfree.Harris_list.create ~reclaim () in
+      let insert, remove, lookup = harris_fns l in
+      concurrent_stress ~insert ~remove ~lookup
+        ~finalize:(fun tid -> Lockfree.Harris_list.finalize_thread l ~thread:tid)
+        ~drain:(fun () -> Lockfree.Harris_list.drain l)
+        ~size:(fun () -> Lockfree.Harris_list.size l)
+        ~chk:(fun () -> Lockfree.Harris_list.check l)
+        ())
+
+let test_harris_hp_reclaims () =
+  Tm.Thread.with_registered (fun tid ->
+      let l = Lockfree.Harris_list.create ~reclaim:`Hp () in
+      for k = 1 to 200 do
+        ignore (Lockfree.Harris_list.insert l ~thread:tid k)
+      done;
+      for k = 1 to 200 do
+        ignore (Lockfree.Harris_list.remove l ~thread:tid k)
+      done;
+      Lockfree.Harris_list.finalize_thread l ~thread:tid;
+      Lockfree.Harris_list.drain l;
+      check "pool live = size" 0
+        (Lockfree.Harris_list.pool_stats l).Mempool.Stats.live;
+      match Lockfree.Harris_list.hazard_metrics l with
+      | Some m ->
+          check "all retired freed" m.Reclaim.Hazard.retired_total
+            m.Reclaim.Hazard.freed_total
+      | None -> Alcotest.fail "hp variant must expose metrics")
+
+let test_harris_leak_leaks () =
+  Tm.Thread.with_registered (fun tid ->
+      let l = Lockfree.Harris_list.create ~reclaim:`Leak () in
+      for k = 1 to 50 do
+        ignore (Lockfree.Harris_list.insert l ~thread:tid k)
+      done;
+      for k = 1 to 50 do
+        ignore (Lockfree.Harris_list.remove l ~thread:tid k)
+      done;
+      Lockfree.Harris_list.drain l;
+      checkb "leaky list never reclaims" true
+        ((Lockfree.Harris_list.pool_stats l).Mempool.Stats.live >= 50))
+
+(* ---- NM tree ---- *)
+
+let nm_fns t =
+  ( (fun tid k -> Lockfree.Nm_tree.insert t ~thread:tid k),
+    (fun tid k -> Lockfree.Nm_tree.remove t ~thread:tid k),
+    (fun tid k -> Lockfree.Nm_tree.lookup t ~thread:tid k) )
+
+let test_nm_sequential () =
+  Tm.Thread.with_registered (fun tid ->
+      let t = Lockfree.Nm_tree.create () in
+      let insert, remove, lookup = nm_fns t in
+      sequential_battery ~insert ~remove ~lookup
+        ~size:(fun () -> Lockfree.Nm_tree.size t)
+        ~to_list:(fun () -> Lockfree.Nm_tree.to_list t)
+        ~chk:(fun () -> Lockfree.Nm_tree.check t)
+        tid)
+
+let test_nm_churn () =
+  Tm.Thread.with_registered (fun tid ->
+      let t = Lockfree.Nm_tree.create () in
+      let insert, remove, lookup = nm_fns t in
+      model_churn ~insert ~remove ~lookup
+        ~to_list:(fun () -> Lockfree.Nm_tree.to_list t)
+        ~chk:(fun () -> Lockfree.Nm_tree.check t)
+        tid)
+
+let test_nm_concurrent () =
+  Tm.Thread.with_registered (fun _ ->
+      let t = Lockfree.Nm_tree.create () in
+      let insert, remove, lookup = nm_fns t in
+      concurrent_stress ~insert ~remove ~lookup
+        ~finalize:(fun tid -> Lockfree.Nm_tree.finalize_thread t ~thread:tid)
+        ~drain:(fun () -> Lockfree.Nm_tree.drain t)
+        ~size:(fun () -> Lockfree.Nm_tree.size t)
+        ~chk:(fun () -> Lockfree.Nm_tree.check t)
+        ())
+
+let test_nm_leak_accounting () =
+  Tm.Thread.with_registered (fun tid ->
+      let t = Lockfree.Nm_tree.create () in
+      for k = 1 to 20 do
+        ignore (Lockfree.Nm_tree.insert t ~thread:tid k)
+      done;
+      for k = 1 to 20 do
+        ignore (Lockfree.Nm_tree.remove t ~thread:tid k)
+      done;
+      checkb "removed nodes leak" true
+        (Lockfree.Nm_tree.allocated t - Lockfree.Nm_tree.reachable t > 0);
+      check "tree empty" 0 (Lockfree.Nm_tree.size t))
+
+let test_nm_key_bounds () =
+  Tm.Thread.with_registered (fun tid ->
+      let t = Lockfree.Nm_tree.create () in
+      checkb "max_key insertable" true
+        (Lockfree.Nm_tree.insert t ~thread:tid Lockfree.Nm_tree.max_key);
+      checkb "sentinel range rejected" true
+        (match
+           Lockfree.Nm_tree.insert t ~thread:tid (Lockfree.Nm_tree.max_key + 1)
+         with
+        | _ -> false
+        | exception Invalid_argument _ -> true))
+
+let qcheck_harris =
+  QCheck.Test.make ~name:"harris list matches set model" ~count:80
+    QCheck.(list (pair (int_bound 2) (int_bound 20)))
+    (fun ops ->
+      Tm.Thread.with_registered (fun tid ->
+          let l = Lockfree.Harris_list.create ~reclaim:`Hp () in
+          let model = Hashtbl.create 32 in
+          let ok =
+            List.for_all
+              (fun (op, k) ->
+                let k = k + 1 in
+                match op with
+                | 0 ->
+                    let e = not (Hashtbl.mem model k) in
+                    if e then Hashtbl.replace model k ();
+                    Lockfree.Harris_list.insert l ~thread:tid k = e
+                | 1 ->
+                    let e = Hashtbl.mem model k in
+                    if e then Hashtbl.remove model k;
+                    Lockfree.Harris_list.remove l ~thread:tid k = e
+                | _ ->
+                    Lockfree.Harris_list.lookup l ~thread:tid k
+                    = Hashtbl.mem model k)
+              ops
+          in
+          ok && Lockfree.Harris_list.check l = Ok ()))
+
+let qcheck_nm =
+  QCheck.Test.make ~name:"nm tree matches set model" ~count:80
+    QCheck.(list (pair (int_bound 2) (int_bound 20)))
+    (fun ops ->
+      Tm.Thread.with_registered (fun tid ->
+          let t = Lockfree.Nm_tree.create () in
+          let model = Hashtbl.create 32 in
+          let ok =
+            List.for_all
+              (fun (op, k) ->
+                let k = k + 1 in
+                match op with
+                | 0 ->
+                    let e = not (Hashtbl.mem model k) in
+                    if e then Hashtbl.replace model k ();
+                    Lockfree.Nm_tree.insert t ~thread:tid k = e
+                | 1 ->
+                    let e = Hashtbl.mem model k in
+                    if e then Hashtbl.remove model k;
+                    Lockfree.Nm_tree.remove t ~thread:tid k = e
+                | _ ->
+                    Lockfree.Nm_tree.lookup t ~thread:tid k
+                    = Hashtbl.mem model k)
+              ops
+          in
+          ok && Lockfree.Nm_tree.check t = Ok ()))
+
+let () =
+  Alcotest.run "lockfree"
+    [
+      ( "harris",
+        [
+          Alcotest.test_case "sequential (leak)" `Quick
+            (test_harris_sequential `Leak);
+          Alcotest.test_case "sequential (hp)" `Quick
+            (test_harris_sequential `Hp);
+          Alcotest.test_case "churn (leak)" `Quick (test_harris_churn `Leak);
+          Alcotest.test_case "churn (hp)" `Quick (test_harris_churn `Hp);
+          Alcotest.test_case "concurrent (leak)" `Slow
+            (test_harris_concurrent `Leak);
+          Alcotest.test_case "concurrent (hp)" `Slow
+            (test_harris_concurrent `Hp);
+          Alcotest.test_case "hp reclaims" `Quick test_harris_hp_reclaims;
+          Alcotest.test_case "leak leaks" `Quick test_harris_leak_leaks;
+        ] );
+      ( "nm-tree",
+        [
+          Alcotest.test_case "sequential" `Quick test_nm_sequential;
+          Alcotest.test_case "churn" `Quick test_nm_churn;
+          Alcotest.test_case "concurrent" `Slow test_nm_concurrent;
+          Alcotest.test_case "leak accounting" `Quick test_nm_leak_accounting;
+          Alcotest.test_case "key bounds" `Quick test_nm_key_bounds;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest qcheck_harris;
+          QCheck_alcotest.to_alcotest qcheck_nm;
+        ] );
+    ]

@@ -1,0 +1,474 @@
+(* Unit, concurrency and property tests for the TL2-style TM substrate. *)
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let with_tm f = Tm.Thread.with_registered (fun _ -> f ())
+
+(* ---- basics ---- *)
+
+let test_read_write () =
+  with_tm (fun () ->
+      let v = Tm.tvar 10 in
+      let r = Tm.atomic (fun txn -> Tm.read txn v) in
+      check "initial" 10 r;
+      Tm.atomic (fun txn -> Tm.write txn v 42);
+      check "after write" 42 (Tm.peek v))
+
+let test_read_own_write () =
+  with_tm (fun () ->
+      let v = Tm.tvar 0 in
+      let seen =
+        Tm.atomic (fun txn ->
+            Tm.write txn v 7;
+            Tm.read txn v)
+      in
+      check "reads own buffered write" 7 seen;
+      check "committed" 7 (Tm.peek v))
+
+let test_write_write () =
+  with_tm (fun () ->
+      let v = Tm.tvar 0 in
+      Tm.atomic (fun txn ->
+          Tm.write txn v 1;
+          Tm.write txn v 2;
+          Tm.write txn v 3);
+      check "last write wins" 3 (Tm.peek v))
+
+let test_multiple_tvars () =
+  with_tm (fun () ->
+      let a = Tm.tvar 1 and b = Tm.tvar 2 and c = Tm.tvar "x" in
+      Tm.atomic (fun txn ->
+          Tm.write txn a (Tm.read txn b);
+          Tm.write txn b 9;
+          Tm.write txn c "y");
+      check "a" 2 (Tm.peek a);
+      check "b" 9 (Tm.peek b);
+      Alcotest.(check string) "c" "y" (Tm.peek c))
+
+let test_exception_rolls_back () =
+  with_tm (fun () ->
+      let v = Tm.tvar 5 in
+      (try
+         Tm.atomic (fun txn ->
+             Tm.write txn v 99;
+             failwith "boom")
+       with Failure _ -> ());
+      check "write discarded" 5 (Tm.peek v))
+
+let test_abort_retries () =
+  with_tm (fun () ->
+      let v = Tm.tvar 0 in
+      let attempts = ref 0 in
+      let defers_run = ref 0 in
+      let r =
+        Tm.atomic_stamped ~max_attempts:10 (fun txn ->
+            incr attempts;
+            Tm.defer txn (fun () -> incr defers_run);
+            Tm.write txn v !attempts;
+            if !attempts < 3 then raise (Tm.Abort Tm.Read_invalid))
+      in
+      check "three attempts" 3 !attempts;
+      check "reported attempts" 3 r.Tm.attempts;
+      check "defer ran once" 1 !defers_run;
+      check "only final attempt committed" 3 (Tm.peek v);
+      checkb "not serial" false r.Tm.serial)
+
+let test_defer_order () =
+  with_tm (fun () ->
+      let order = ref [] in
+      Tm.atomic (fun txn ->
+          Tm.defer txn (fun () -> order := 1 :: !order);
+          Tm.defer txn (fun () -> order := 2 :: !order);
+          Tm.defer txn (fun () -> order := 3 :: !order));
+      Alcotest.(check (list int)) "registration order" [ 1; 2; 3 ]
+        (List.rev !order))
+
+let test_serial_fallback () =
+  with_tm (fun () ->
+      let v = Tm.tvar 0 in
+      (* max_attempts = 0 goes straight to serial mode. *)
+      let r =
+        Tm.atomic_stamped ~max_attempts:0 (fun txn ->
+            checkb "serial flag" true (Tm.is_serial txn);
+            Tm.write txn v (Tm.read txn v + 1))
+      in
+      checkb "result serial" true r.Tm.serial;
+      check "serial write applied" 1 (Tm.peek v);
+      checkb "token released" false (Tm.serial_active ()))
+
+let test_stamps_monotone () =
+  with_tm (fun () ->
+      let v = Tm.tvar 0 in
+      let s1 = (Tm.atomic_stamped (fun txn -> Tm.write txn v 1)).Tm.stamp in
+      let s2 = (Tm.atomic_stamped (fun txn -> Tm.write txn v 2)).Tm.stamp in
+      let s3 = (Tm.atomic_stamped (fun txn -> Tm.read txn v)).Tm.stamp in
+      checkb "writer stamps increase" true (s2 > s1);
+      checkb "read-only stamp covers last writer" true (s3 >= s2);
+      checkb "read-only is flagged" true
+        (Tm.atomic_stamped (fun txn -> Tm.read txn v)).Tm.read_only;
+      checkb "writer is not read-only" false
+        (Tm.atomic_stamped (fun txn -> Tm.write txn v 3)).Tm.read_only)
+
+let test_nested_flattens () =
+  with_tm (fun () ->
+      let v = Tm.tvar 0 in
+      Tm.atomic (fun txn ->
+          Tm.write txn v 1;
+          (* The nested atomic must see the enclosing buffered write. *)
+          let inner = Tm.atomic (fun txn' -> Tm.read txn' v) in
+          check "nested sees outer write" 1 inner;
+          Tm.write txn v (inner + 1));
+      check "flattened commit" 2 (Tm.peek v))
+
+let test_poke_bumps_version () =
+  with_tm (fun () ->
+      let v = Tm.tvar 0 in
+      Tm.poke v 33;
+      check "poke visible" 33 (Tm.peek v);
+      check "transactional read sees poke" 33
+        (Tm.atomic (fun txn -> Tm.read txn v)))
+
+let test_opaque_snapshot () =
+  with_tm (fun () ->
+      let a = Tm.tvar 0 and b = Tm.tvar 0 in
+      let attempts = ref 0 in
+      let pair =
+        Tm.atomic ~max_attempts:10 (fun txn ->
+            incr attempts;
+            let va = Tm.read txn a in
+            if !attempts = 1 then begin
+              (* concurrent update between the two reads: the second read
+                 must not pair the old [a] with the new [b] *)
+              Tm.poke a 1;
+              Tm.poke b 1
+            end;
+            let vb = Tm.read txn b in
+            (va, vb))
+      in
+      check "aborted the torn attempt" 2 !attempts;
+      checkb "snapshot is consistent" true (pair = (1, 1)))
+
+let test_validate_on_commit () =
+  with_tm (fun () ->
+      let v = Tm.tvar 0 in
+      let attempts = ref 0 in
+      let seen =
+        Tm.atomic ~max_attempts:10 (fun txn ->
+            incr attempts;
+            let x = Tm.read txn v in
+            Tm.validate_on_commit txn;
+            (* invalidate the read set after the read: a plain read-only
+               transaction would commit anyway; a validating one must abort
+               and retry *)
+            if !attempts = 1 then Tm.poke v 99;
+            x)
+      in
+      check "validating read-only txn retried" 2 !attempts;
+      check "retry saw the new value" 99 seen;
+      (* without the request, the same shape commits first try: it is a
+         consistent snapshot of the state before the poke *)
+      let attempts2 = ref 0 in
+      let seen2 =
+        Tm.atomic ~max_attempts:10 (fun txn ->
+            incr attempts2;
+            let x = Tm.read txn v in
+            if !attempts2 = 1 then Tm.poke v 100;
+            x)
+      in
+      check "plain read-only txn commits" 1 !attempts2;
+      check "with the pre-poke snapshot" 99 seen2)
+
+(* ---- thread registry ---- *)
+
+let test_thread_ids_recycled () =
+  let id1 =
+    Domain.join
+      (Domain.spawn (fun () -> Tm.Thread.with_registered (fun id -> id)))
+  in
+  let id2 =
+    Domain.join
+      (Domain.spawn (fun () -> Tm.Thread.with_registered (fun id -> id)))
+  in
+  check "released id is reused" id1 id2
+
+let test_thread_ids_distinct () =
+  Tm.Thread.with_registered (fun my_id ->
+      let other =
+        Domain.join
+          (Domain.spawn (fun () -> Tm.Thread.with_registered (fun id -> id)))
+      in
+      checkb "concurrent ids differ" true (other <> my_id))
+
+(* ---- concurrency ---- *)
+
+let spawn_workers n f =
+  List.init n (fun i -> Domain.spawn (fun () -> Tm.Thread.with_registered (f i)))
+  |> List.map Domain.join
+
+let test_concurrent_counter () =
+  with_tm (fun () ->
+      let v = Tm.tvar 0 in
+      let per_thread = 2000 in
+      let _ =
+        spawn_workers 4 (fun _ _tid ->
+            for _ = 1 to per_thread do
+              Tm.atomic (fun txn -> Tm.write txn v (Tm.read txn v + 1))
+            done)
+      in
+      check "no lost updates" (4 * per_thread) (Tm.peek v))
+
+let test_concurrent_counter_serial_pressure () =
+  with_tm (fun () ->
+      let v = Tm.tvar 0 in
+      let per_thread = 800 in
+      let _ =
+        spawn_workers 4 (fun _ _tid ->
+            for _ = 1 to per_thread do
+              Tm.atomic ~max_attempts:1 (fun txn ->
+                  Tm.write txn v (Tm.read txn v + 1))
+            done)
+      in
+      check "no lost updates under heavy serial fallback" (4 * per_thread)
+        (Tm.peek v))
+
+(* Bank invariant: concurrent random transfers keep the total constant and
+   every read-only snapshot observes the full total (opacity/consistency). *)
+let test_bank_invariant () =
+  with_tm (fun () ->
+      let n_accounts = 16 in
+      let initial = 100 in
+      let accounts = Array.init n_accounts (fun _ -> Tm.tvar initial) in
+      let total = n_accounts * initial in
+      let violations = Atomic.make 0 in
+      let _ =
+        spawn_workers 4 (fun i _tid ->
+            let rng = ref (i + 17) in
+            let rand m =
+              rng := (!rng * 1103515245) + 12345;
+              !rng land 0x3FFFFFFF mod m
+            in
+            for _ = 1 to 2500 do
+              if rand 4 = 0 then begin
+                (* audit: snapshot the whole bank *)
+                let sum =
+                  Tm.atomic (fun txn ->
+                      Array.fold_left (fun a v -> a + Tm.read txn v) 0 accounts)
+                in
+                if sum <> total then Atomic.incr violations
+              end
+              else
+                let a = rand n_accounts and b = rand n_accounts in
+                let amt = rand 10 in
+                Tm.atomic (fun txn ->
+                    let va = Tm.read txn accounts.(a) in
+                    let vb = Tm.read txn accounts.(b) in
+                    Tm.write txn accounts.(a) (va - amt);
+                    Tm.write txn accounts.(b) (vb + amt))
+            done)
+      in
+      check "no inconsistent audit" 0 (Atomic.get violations);
+      let final = Array.fold_left (fun a v -> a + Tm.peek v) 0 accounts in
+      check "total conserved" total final)
+
+(* Regression for the serial-fallback snapshot race: with max_attempts=1
+   every conflict escalates to a serial transaction, and read-only audits
+   must still see consistent totals (a reader that samples its snapshot
+   while a serial writer is mid-publication must not mix old and new
+   values). *)
+let test_bank_invariant_serial_pressure () =
+  with_tm (fun () ->
+      let n_accounts = 8 in
+      let initial = 50 in
+      let accounts = Array.init n_accounts (fun _ -> Tm.tvar initial) in
+      let total = n_accounts * initial in
+      let violations = Atomic.make 0 in
+      let _ =
+        spawn_workers 4 (fun i _tid ->
+            let rng = ref (i + 29) in
+            let rand m =
+              rng := (!rng * 1103515245) + 12345;
+              !rng land 0x3FFFFFFF mod m
+            in
+            for _ = 1 to 1500 do
+              if rand 3 = 0 then begin
+                let sum =
+                  Tm.atomic ~max_attempts:1 (fun txn ->
+                      Array.fold_left (fun a v -> a + Tm.read txn v) 0 accounts)
+                in
+                if sum <> total then Atomic.incr violations
+              end
+              else
+                let a = rand n_accounts and b = rand n_accounts in
+                Tm.atomic ~max_attempts:1 (fun txn ->
+                    let va = Tm.read txn accounts.(a) in
+                    let vb = Tm.read txn accounts.(b) in
+                    Tm.write txn accounts.(a) (va - 1);
+                    Tm.write txn accounts.(b) (vb + 1))
+            done)
+      in
+      check "no torn snapshot under serial pressure" 0
+        (Atomic.get violations);
+      let final = Array.fold_left (fun a v -> a + Tm.peek v) 0 accounts in
+      check "total conserved" total final)
+
+(* Writer stamps are unique across threads. *)
+let test_stamp_uniqueness () =
+  with_tm (fun () ->
+      let v = Tm.tvar 0 in
+      let stamps =
+        spawn_workers 4 (fun _ _tid ->
+            List.init 500 (fun _ ->
+                (Tm.atomic_stamped (fun txn -> Tm.write txn v (Tm.read txn v + 1)))
+                  .Tm.stamp))
+        |> List.concat
+      in
+      let sorted = List.sort_uniq compare stamps in
+      check "all writer stamps distinct" (List.length stamps)
+        (List.length sorted))
+
+(* TM-level serializability: concurrent random read/write transactions on a
+   small tvar array, logged with commit stamps, must replay exactly against
+   a sequential model in stamp order. *)
+let test_concurrent_serializable () =
+  with_tm (fun () ->
+      let n_vars = 6 in
+      let tvars = Array.init n_vars (fun _ -> Tm.tvar 0) in
+      let logs =
+        spawn_workers 4 (fun w _tid ->
+            let rng = ref (w + 91) in
+            let rand m =
+              rng := (!rng * 1103515245) + 12345;
+              !rng land 0x3FFFFFFF mod m
+            in
+            let log = ref [] in
+            for _ = 1 to 1200 do
+              let src = rand n_vars and dst = rand n_vars in
+              let amount = rand 10 in
+              let r =
+                Tm.atomic_stamped (fun txn ->
+                    let v = Tm.read txn tvars.(src) in
+                    if amount mod 3 = 0 then v (* read-only observation *)
+                    else begin
+                      Tm.write txn tvars.(dst) (v + amount);
+                      v + amount
+                    end)
+              in
+              log :=
+                (r.Tm.stamp, r.Tm.read_only, src, dst, amount, r.Tm.value)
+                :: !log
+            done;
+            List.rev !log)
+      in
+      (* replay in stamp order, writers before readers on ties *)
+      let all =
+        List.concat logs
+        |> List.stable_sort (fun (s1, ro1, _, _, _, _) (s2, ro2, _, _, _, _) ->
+               match compare s1 s2 with 0 -> compare ro1 ro2 | c -> c)
+      in
+      let model = Array.make n_vars 0 in
+      List.iter
+        (fun (_, _, src, dst, amount, value) ->
+          if amount mod 3 = 0 then begin
+            if model.(src) <> value then
+              Alcotest.failf "read-only txn observed %d, model has %d" value
+                model.(src)
+          end
+          else begin
+            let expected = model.(src) + amount in
+            if expected <> value then
+              Alcotest.failf "writer observed %d, model expects %d" value
+                expected;
+            model.(dst) <- expected
+          end)
+        all;
+      Array.iteri
+        (fun i tv -> check (Printf.sprintf "final var %d" i) model.(i) (Tm.peek tv))
+        tvars)
+
+(* ---- qcheck: single-threaded sequences against a model ---- *)
+
+let qcheck_model =
+  QCheck.Test.make ~name:"tm matches sequential model" ~count:200
+    QCheck.(list (pair (int_bound 7) (int_bound 100)))
+    (fun ops ->
+      Tm.Thread.with_registered (fun _ ->
+          let tvars = Array.init 8 (fun _ -> Tm.tvar 0) in
+          let model = Array.make 8 0 in
+          List.iter
+            (fun (i, v) ->
+              (* Write v to slot i and add the previous value to slot
+                 (i+1) mod 8, transactionally and in the model. *)
+              Tm.atomic (fun txn ->
+                  let old = Tm.read txn tvars.(i) in
+                  Tm.write txn tvars.(i) v;
+                  let j = (i + 1) mod 8 in
+                  Tm.write txn tvars.(j) (Tm.read txn tvars.(j) + old));
+              let old = model.(i) in
+              model.(i) <- v;
+              let j = (i + 1) mod 8 in
+              model.(j) <- model.(j) + old)
+            ops;
+          Array.for_all2 (fun tv m -> Tm.peek tv = m) tvars model))
+
+let qcheck_stamp_order =
+  QCheck.Test.make ~name:"later writers get later stamps" ~count:100
+    QCheck.(list_of_size (Gen.return 10) (int_bound 50))
+    (fun vs ->
+      Tm.Thread.with_registered (fun _ ->
+          let v = Tm.tvar 0 in
+          let stamps =
+            List.map
+              (fun x -> (Tm.atomic_stamped (fun txn -> Tm.write txn v x)).Tm.stamp)
+              vs
+          in
+          let rec increasing = function
+            | a :: (b :: _ as rest) -> a < b && increasing rest
+            | _ -> true
+          in
+          increasing stamps))
+
+let () =
+  Alcotest.run "tm"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "read-write" `Quick test_read_write;
+          Alcotest.test_case "read-own-write" `Quick test_read_own_write;
+          Alcotest.test_case "write-write" `Quick test_write_write;
+          Alcotest.test_case "multiple tvars" `Quick test_multiple_tvars;
+          Alcotest.test_case "exception rollback" `Quick
+            test_exception_rolls_back;
+          Alcotest.test_case "abort retries" `Quick test_abort_retries;
+          Alcotest.test_case "defer order" `Quick test_defer_order;
+          Alcotest.test_case "serial fallback" `Quick test_serial_fallback;
+          Alcotest.test_case "stamps monotone" `Quick test_stamps_monotone;
+          Alcotest.test_case "nesting flattens" `Quick test_nested_flattens;
+          Alcotest.test_case "poke" `Quick test_poke_bumps_version;
+          Alcotest.test_case "opaque snapshot" `Quick test_opaque_snapshot;
+          Alcotest.test_case "validate-on-commit" `Quick
+            test_validate_on_commit;
+        ] );
+      ( "threads",
+        [
+          Alcotest.test_case "id recycling" `Quick test_thread_ids_recycled;
+          Alcotest.test_case "distinct ids" `Quick test_thread_ids_distinct;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "counter" `Quick test_concurrent_counter;
+          Alcotest.test_case "counter (serial pressure)" `Quick
+            test_concurrent_counter_serial_pressure;
+          Alcotest.test_case "bank invariant" `Quick test_bank_invariant;
+          Alcotest.test_case "bank invariant (serial pressure)" `Slow
+            test_bank_invariant_serial_pressure;
+          Alcotest.test_case "stamp uniqueness" `Quick test_stamp_uniqueness;
+          Alcotest.test_case "concurrent serializability" `Slow
+            test_concurrent_serializable;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest qcheck_model;
+          QCheck_alcotest.to_alcotest qcheck_stamp_order;
+        ] );
+    ]

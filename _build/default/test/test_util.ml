@@ -1,0 +1,97 @@
+(* Shared helpers for the test suites. *)
+
+(* A persistent worker domain with a stable TM thread id, so tests can
+   express "thread 1 does X, then thread 2 does Y, then thread 1 ..."
+   sequences without id recycling between steps. *)
+module Worker = struct
+  type t = {
+    m : Mutex.t;
+    cv : Condition.t;
+    mutable job : (unit -> unit) option;
+    mutable stop : bool;
+    mutable tid : int;
+    mutable dom : unit Domain.t option;
+  }
+
+  let spawn () =
+    let w =
+      {
+        m = Mutex.create ();
+        cv = Condition.create ();
+        job = None;
+        stop = false;
+        tid = -1;
+        dom = None;
+      }
+    in
+    let dom =
+      Domain.spawn (fun () ->
+          Tm.Thread.with_registered (fun tid ->
+              Mutex.lock w.m;
+              w.tid <- tid;
+              Condition.broadcast w.cv;
+              let rec loop () =
+                match w.job with
+                | Some f ->
+                    Mutex.unlock w.m;
+                    f ();
+                    Mutex.lock w.m;
+                    w.job <- None;
+                    Condition.broadcast w.cv;
+                    loop ()
+                | None ->
+                    if w.stop then Mutex.unlock w.m
+                    else begin
+                      Condition.wait w.cv w.m;
+                      loop ()
+                    end
+              in
+              loop ()))
+    in
+    w.dom <- Some dom;
+    Mutex.lock w.m;
+    while w.tid < 0 do
+      Condition.wait w.cv w.m
+    done;
+    Mutex.unlock w.m;
+    w
+
+  let tid w = w.tid
+
+  (* Run [f] on the worker and return its result. *)
+  let run w f =
+    let result = ref None in
+    Mutex.lock w.m;
+    while w.job <> None do
+      Condition.wait w.cv w.m
+    done;
+    w.job <- Some (fun () -> result := Some (f ()));
+    Condition.broadcast w.cv;
+    while w.job <> None do
+      Condition.wait w.cv w.m
+    done;
+    Mutex.unlock w.m;
+    Option.get !result
+
+  let stop w =
+    Mutex.lock w.m;
+    w.stop <- true;
+    Condition.broadcast w.cv;
+    Mutex.unlock w.m;
+    Option.iter Domain.join w.dom
+
+  let with_workers n f =
+    let ws = List.init n (fun _ -> spawn ()) in
+    Fun.protect ~finally:(fun () -> List.iter stop ws) (fun () -> f ws)
+end
+
+(* Deterministic pseudo-random stream for stress loops. *)
+module Prng = struct
+  type t = { mutable s : int }
+
+  let create seed = { s = (seed * 2654435761) + 1 }
+
+  let int t m =
+    t.s <- (t.s * 1103515245) + 12345;
+    t.s land 0x3FFFFFFF mod m
+end
