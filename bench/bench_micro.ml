@@ -58,7 +58,7 @@ let tm_tests () =
            Tm.atomic (fun txn -> Tm.write txn v (Tm.read txn v + 1))));
   ]
 
-let run () =
+let run ?(smoke = false) () =
   Tm.Thread.with_registered (fun _ ->
       let tests =
         Test.make_grouped ~name:"micro" ~fmt:"%s %s" (tm_tests () @ rr_tests ())
@@ -67,8 +67,14 @@ let run () =
         Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
       in
       let instances = Instance.[ monotonic_clock ] in
+      (* Smoke mode only needs to exercise every instrumented path once or
+         twice for schema validation, not to produce stable estimates. *)
       let cfg =
-        Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+        if smoke then
+          Benchmark.cfg ~limit:50 ~quota:(Time.second 0.01) ~kde:None ()
+        else
+          Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000)
+            ()
       in
       let raw = Benchmark.all cfg instances tests in
       let results = Analyze.all ols Instance.monotonic_clock raw in

@@ -16,8 +16,13 @@ let usage () =
     \  figure N       regenerate Figure N of the paper (N in 2..7, or 'all')\n\
     \  reclaim        reclamation footprint comparison\n\
     \  ablation       design-choice ablations (scatter, split unlink, ...)\n\
-    \  micro          Bechamel per-operation latency benchmarks\n\n\
+    \  micro          Bechamel per-operation latency benchmarks\n\
+    \  telemetry      contended run with telemetry on; report as table,\n\
+    \                 or as JSON with --json\n\
+    \  telemetry-smoke  micro + contended run under telemetry; validate\n\
+    \                 the emitted JSON schema (used by @telemetry-smoke)\n\n\
      options:\n\
+    \  --json         emit the telemetry report as JSON (telemetry command)\n\
     \  --full         paper-scale parameters (50k ops/thread, 21-bit trees)\n\
     \  --quick        reduced parameters (default)\n\
     \  --verify       run the serialization checker on every benchmark run\n\
@@ -30,6 +35,7 @@ let () =
   let quick = ref true in
   let verify = ref false in
   let aborts = ref false in
+  let json = ref false in
   let csv_dir = ref None in
   let threads = ref [ 1; 2; 4; 8 ] in
   let command = ref [] in
@@ -46,6 +52,9 @@ let () =
         parse rest
     | "--aborts" :: rest ->
         aborts := true;
+        parse rest
+    | "--json" :: rest ->
+        json := true;
         parse rest
     | "--csv" :: dir :: rest ->
         csv_dir := Some dir;
@@ -106,6 +115,8 @@ let () =
       | [ "reclaim" ] -> Bench_figures.reclaim_bench p
       | [ "ablation" ] -> Bench_figures.ablation_bench p
       | [ "micro" ] -> Bench_micro.run ()
+      | [ "telemetry" ] -> Bench_telemetry.run ~json:!json ()
+      | [ "telemetry-smoke" ] -> Bench_telemetry.smoke ()
       | _ ->
           usage ();
           exit 2)

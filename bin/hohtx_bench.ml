@@ -31,23 +31,33 @@ let mode_conv =
   Arg.conv (parse, fun ppf m -> Fmt.string ppf (Structs.Mode.kind_name m))
 
 let run family mode window scatter key_bits lookup_pct threads ops verify
-    strategy =
+    strategy telemetry =
+  if telemetry then Telemetry.set_enabled true;
   let strategy =
     match strategy with
     | `Arena -> Mempool.Thread_arena
     | `Size_class -> Mempool.Size_class
   in
-  let factory =
+  let spec_structure =
     match family with
-    | `Slist -> Factories.slist ~window ~scatter ~strategy mode
-    | `Dlist -> Factories.dlist ~window ~scatter ~strategy mode
-    | `Bst_int -> Factories.bst_int ~window ~scatter ~strategy mode
-    | `Bst_ext -> Factories.bst_ext ~window ~scatter ~strategy mode
-    | `Lf_list -> (
-        match mode with
-        | Structs.Mode.Tmhp -> Factories.lf_list `Hp
-        | _ -> Factories.lf_list `Leak)
-    | `Nm_tree -> Factories.nm_tree ()
+    | `Slist -> Some Factories.Spec.Slist
+    | `Dlist -> Some Factories.Spec.Dlist
+    | `Bst_int -> Some Factories.Spec.Bst_int
+    | `Bst_ext -> Some Factories.Spec.Bst_ext
+    | `Lf_list | `Nm_tree -> None
+  in
+  let factory =
+    match spec_structure with
+    | Some structure ->
+        Factories.make
+          (Factories.Spec.v ~window ~scatter ~strategy structure mode)
+    | None -> (
+        match family with
+        | `Lf_list -> (
+            match mode with
+            | Structs.Mode.Tmhp -> Factories.lf_list `Hp
+            | _ -> Factories.lf_list `Leak)
+        | _ -> Factories.nm_tree ())
   in
   Tm.Thread.with_registered (fun _ ->
       let spec =
@@ -63,6 +73,9 @@ let run family mode window scatter key_bits lookup_pct threads ops verify
       opt "live nodes after drain" r.Driver.pool_live;
       opt "peak deferred backlog" r.Driver.max_backlog;
       opt "leaked nodes" r.Driver.leaked;
+      (match r.Driver.telemetry with
+      | Some rep -> Format.printf "%a" Telemetry.Report.pp rep
+      | None -> ());
       match r.Driver.verdict with Ok () -> 0 | Error _ -> 1)
 
 let cmd =
@@ -111,10 +124,17 @@ let cmd =
       & opt (enum [ ("arena", `Arena); ("size-class", `Size_class) ]) `Arena
       & info [ "allocator" ] ~doc:"Pool placement strategy.")
   in
+  let telemetry =
+    Arg.(
+      value & flag
+      & info [ "telemetry" ]
+          ~doc:"Enable the telemetry layer and print the post-run report \
+                (latency histograms, abort attribution, gauges).")
+  in
   let term =
     Term.(
       const run $ family $ mode $ window $ scatter $ key_bits $ lookup_pct
-      $ threads $ ops $ verify $ strategy)
+      $ threads $ ops $ verify $ strategy $ telemetry)
   in
   Cmd.v
     (Cmd.info "hohtx-bench" ~version:"1.0"

@@ -65,8 +65,8 @@ let run_one name (t : Structs.Hoh_bst_int.t) =
     (Structs.Hoh_bst_int.size t)
     claimed
     (float_of_int (Tm.Stats.total_aborts stats)
-    /. float_of_int (max 1 stats.started))
-    stats.fallbacks;
+    /. float_of_int (max 1 (Tm.Stats.started stats)))
+    (Tm.Stats.fallbacks stats);
   match Structs.Hoh_bst_int.check t with
   | Ok () -> ()
   | Error e -> failwith (name ^ ": " ^ e)

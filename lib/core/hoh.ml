@@ -1,10 +1,10 @@
 type ('r, 'a) outcome = Finish of 'a | Hand_off of 'r
 
-let run ~rr ?max_attempts step =
+let run ~rr ?site ?max_attempts step =
   let reserved = ref None in
   let rec loop last =
     let res =
-      Tm.atomic_stamped ?max_attempts (fun txn ->
+      Tm.atomic_stamped ?site ?max_attempts (fun txn ->
           rr.Rr_intf.register txn;
           let start =
             match !reserved with
@@ -31,8 +31,8 @@ let run ~rr ?max_attempts step =
   in
   loop 0
 
-let apply ~rr ?max_attempts step = fst (run ~rr ?max_attempts step)
-let apply_stamped ~rr ?max_attempts step = run ~rr ?max_attempts step
+let apply ~rr ?site ?max_attempts step = fst (run ~rr ?site ?max_attempts step)
+let apply_stamped ~rr ?site ?max_attempts step = run ~rr ?site ?max_attempts step
 
 module Window = struct
   type t = { w : int; scatter : bool; seeds : int array }

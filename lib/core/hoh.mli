@@ -17,6 +17,7 @@ type ('r, 'a) outcome =
 
 val apply :
   rr:'r Rr_intf.ops ->
+  ?site:string ->
   ?max_attempts:int ->
   (Tm.txn -> start:'r option -> ('r, 'a) outcome) ->
   'a
@@ -24,10 +25,14 @@ val apply :
     finishes. If an attempt aborts, [step] re-runs in a fresh transaction
     with the reservation re-checked; if the reservation was revoked
     meanwhile, [start] is [None] and the step must restart from the
-    beginning of the structure. *)
+    beginning of the structure.
+
+    [site] is forwarded to {!Tm.atomic} as the telemetry attribution label
+    for every window transaction of this operation. *)
 
 val apply_stamped :
   rr:'r Rr_intf.ops ->
+  ?site:string ->
   ?max_attempts:int ->
   (Tm.txn -> start:'r option -> ('r, 'a) outcome) ->
   'a * int

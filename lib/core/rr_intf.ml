@@ -77,13 +77,60 @@ type 'r ops = {
 let instantiate (type r) (module M : S) ?config ~(hash : r -> int)
     ~(equal : r -> r -> bool) () : r ops =
   let t = M.create ?config ~hash ~equal () in
-  {
-    name = M.name;
-    strict = M.strict;
-    register = (fun txn -> M.register t txn);
-    reserve = (fun txn r -> M.reserve t txn r);
-    release = (fun txn r -> M.release t txn r);
-    release_all = (fun txn -> M.release_all t txn);
-    get = (fun txn r -> M.get t txn r);
-    revoke = (fun txn r -> M.revoke t txn r);
-  }
+  let plain =
+    {
+      name = M.name;
+      strict = M.strict;
+      register = (fun txn -> M.register t txn);
+      reserve = (fun txn r -> M.reserve t txn r);
+      release = (fun txn r -> M.release t txn r);
+      release_all = (fun txn -> M.release_all t txn);
+      get = (fun txn r -> M.get t txn r);
+      revoke = (fun txn r -> M.revoke t txn r);
+    }
+  in
+  if not (Telemetry.enabled ()) then plain
+  else begin
+    (* Counting wrapper, built only when telemetry was on at instantiation
+       time, so the default path pays zero overhead. Counts are per attempt
+       (an aborted transaction's calls are included): [get_misses] is the
+       number of [Get] calls that returned [None], an upper bound on the
+       relaxed implementations' spurious drops (it also includes genuine
+       revocations observed by the caller). *)
+    let reserves = Atomic.make 0
+    and releases = Atomic.make 0
+    and revokes = Atomic.make 0
+    and gets = Atomic.make 0
+    and get_misses = Atomic.make 0 in
+    Telemetry.Gauges.register ~group:"rr" ~name:M.name (fun () ->
+        [
+          ("reserves", float_of_int (Atomic.get reserves));
+          ("releases", float_of_int (Atomic.get releases));
+          ("revokes", float_of_int (Atomic.get revokes));
+          ("gets", float_of_int (Atomic.get gets));
+          ("get_misses", float_of_int (Atomic.get get_misses));
+        ]);
+    {
+      plain with
+      reserve =
+        (fun txn r ->
+          Atomic.incr reserves;
+          M.reserve t txn r);
+      release =
+        (fun txn r ->
+          Atomic.incr releases;
+          M.release t txn r);
+      revoke =
+        (fun txn r ->
+          Atomic.incr revokes;
+          M.revoke t txn r);
+      get =
+        (fun txn r ->
+          Atomic.incr gets;
+          match M.get t txn r with
+          | None ->
+              Atomic.incr get_misses;
+              None
+          | some -> some);
+    }
+  end

@@ -10,6 +10,7 @@ type result = {
   pool_live : int option;
   max_backlog : int option;
   leaked : int option;
+  telemetry : Telemetry.Report.t option;
 }
 
 let barrier_wait counter =
@@ -77,6 +78,9 @@ let run ?(verify = true) spec handle =
       if not (fst (handle.Set_ops.insert ~thread:tid k)) then
         failwith "Driver.run: prefill insert failed")
     initial;
+  (* Start the measurement window after prefill so the report reflects the
+     contended phase only. Gauges are cumulative and keep their registry. *)
+  if Telemetry.enabled () then Telemetry.reset_slots ();
   let barrier = Atomic.make (spec.Workload.threads + 1) in
   let domains =
     List.init spec.Workload.threads (fun d ->
@@ -119,17 +123,23 @@ let run ?(verify = true) spec handle =
     pool_live = handle.Set_ops.pool_live ();
     max_backlog = handle.Set_ops.max_backlog ();
     leaked = handle.Set_ops.leaked ();
+    telemetry =
+      (if Telemetry.enabled () then
+         Some
+           (Telemetry.Report.snapshot ~label:handle.Set_ops.name ~counters:tm
+              ())
+       else None);
   }
 
 let abort_rate r =
-  if r.tm.started = 0 then 0.
+  if Tm.Stats.started r.tm = 0 then 0.
   else
     float_of_int (Tm.Stats.total_aborts r.tm)
-    /. float_of_int r.tm.started
+    /. float_of_int (Tm.Stats.started r.tm)
 
 let pp_result ppf r =
   Format.fprintf ppf
     "%-10s %a: %.0f ops/s (%.2fs), aborts/attempt %.3f, fallbacks %d, %s"
     r.impl Workload.pp_spec r.spec r.throughput r.elapsed_s (abort_rate r)
-    r.tm.fallbacks
+    (Tm.Stats.fallbacks r.tm)
     (match r.verdict with Ok () -> "OK" | Error e -> "FAIL: " ^ e)

@@ -18,6 +18,10 @@ type result = {
   pool_live : int option;
   max_backlog : int option;
   leaked : int option;
+  telemetry : Telemetry.Report.t option;
+      (** post-quiescence snapshot of the measurement window (latency
+          histograms, abort attribution, gauges); [Some] iff
+          {!Telemetry.enabled} was on when the run started *)
 }
 
 val run : ?verify:bool -> Workload.spec -> Set_ops.handle -> result

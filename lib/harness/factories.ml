@@ -5,66 +5,124 @@ let rr_kinds =
     (fun (name, m) -> (name, Structs.Mode.Rr_kind m))
     Rr.all
 
-let slist ?window ?scatter ?strategy ?rr_config ?max_attempts kind =
-  {
-    label = Structs.Mode.kind_name kind;
-    make =
-      (fun () ->
+module Spec = struct
+  type structure = Slist | Dlist | Bst_int | Bst_ext | Hashset | Skiplist
+
+  type t = {
+    structure : structure;
+    kind : Structs.Mode.kind;
+    window : int option;
+    scatter : bool option;
+    strategy : Mempool.strategy option;
+    rr_config : Rr.Config.t option;
+    max_attempts : int option;
+    buckets : int option;
+    split_unlink : bool option;
+  }
+
+  let v ?window ?scatter ?strategy ?rr_config ?max_attempts ?buckets
+      ?split_unlink structure kind =
+    (match buckets with
+    | Some _ when structure <> Hashset ->
+        invalid_arg "Factories.Spec.v: buckets only applies to Hashset"
+    | _ -> ());
+    (match split_unlink with
+    | Some _ when structure <> Dlist ->
+        invalid_arg "Factories.Spec.v: split_unlink only applies to Dlist"
+    | _ -> ());
+    {
+      structure;
+      kind;
+      window;
+      scatter;
+      strategy;
+      rr_config;
+      max_attempts;
+      buckets;
+      split_unlink;
+    }
+
+  let structure_name = function
+    | Slist -> "slist"
+    | Dlist -> "dlist"
+    | Bst_int -> "bst-int"
+    | Bst_ext -> "bst-ext"
+    | Hashset -> "hashset"
+    | Skiplist -> "skiplist"
+
+  let label t =
+    let k = Structs.Mode.kind_name t.kind in
+    match t.structure with
+    | Slist | Dlist | Bst_int | Bst_ext -> k
+    | Hashset -> k ^ "-hash"
+    | Skiplist -> k ^ "-skip"
+end
+
+let make (s : Spec.t) =
+  let { Spec.structure; kind; window; scatter; strategy; rr_config;
+        max_attempts; buckets; split_unlink } = s in
+  let build () =
+    match structure with
+    | Spec.Slist ->
         Set_ops.of_hoh_list
           (Structs.Hoh_list.create ~mode:kind ?window ?scatter ?strategy
-             ?rr_config ?max_attempts ()));
-  }
+             ?rr_config ?max_attempts ())
+    | Spec.Dlist ->
+        Set_ops.of_hoh_dlist
+          (Structs.Hoh_dlist.create ~mode:kind ?window ?scatter ?strategy
+             ?rr_config ?max_attempts ?split_unlink ())
+    | Spec.Bst_int ->
+        Set_ops.of_bst_int
+          (Structs.Hoh_bst_int.create ~mode:kind ?window ?scatter ?strategy
+             ?rr_config ?max_attempts ())
+    | Spec.Bst_ext ->
+        Set_ops.of_bst_ext
+          (Structs.Hoh_bst_ext.create ~mode:kind ?window ?scatter ?strategy
+             ?rr_config ?max_attempts ())
+    | Spec.Hashset ->
+        Set_ops.of_hashset
+          (Structs.Hoh_hashset.create ~mode:kind ?buckets ?window ?scatter
+             ?strategy ?rr_config ?max_attempts ())
+    | Spec.Skiplist ->
+        Set_ops.of_skiplist
+          (Structs.Hoh_skiplist.create ~mode:kind ?window ?scatter ?strategy
+             ?rr_config ?max_attempts ())
+  in
+  { label = Spec.label s; make = build }
+
+(* Deprecated per-structure wrappers, kept so external callers keep
+   compiling; new code should build a [Spec.t] and call [make]. *)
+
+let slist ?window ?scatter ?strategy ?rr_config ?max_attempts kind =
+  make
+    (Spec.v ?window ?scatter ?strategy ?rr_config ?max_attempts Spec.Slist
+       kind)
 
 let dlist ?window ?scatter ?strategy ?rr_config ?max_attempts ?split_unlink
     kind =
-  {
-    label = Structs.Mode.kind_name kind;
-    make =
-      (fun () ->
-        Set_ops.of_hoh_dlist
-          (Structs.Hoh_dlist.create ~mode:kind ?window ?scatter ?strategy
-             ?rr_config ?max_attempts ?split_unlink ()));
-  }
+  make
+    (Spec.v ?window ?scatter ?strategy ?rr_config ?max_attempts ?split_unlink
+       Spec.Dlist kind)
 
 let bst_int ?window ?scatter ?strategy ?rr_config ?max_attempts kind =
-  {
-    label = Structs.Mode.kind_name kind;
-    make =
-      (fun () ->
-        Set_ops.of_bst_int
-          (Structs.Hoh_bst_int.create ~mode:kind ?window ?scatter ?strategy
-             ?rr_config ?max_attempts ()));
-  }
+  make
+    (Spec.v ?window ?scatter ?strategy ?rr_config ?max_attempts Spec.Bst_int
+       kind)
 
 let bst_ext ?window ?scatter ?strategy ?rr_config ?max_attempts kind =
-  {
-    label = Structs.Mode.kind_name kind;
-    make =
-      (fun () ->
-        Set_ops.of_bst_ext
-          (Structs.Hoh_bst_ext.create ~mode:kind ?window ?scatter ?strategy
-             ?rr_config ?max_attempts ()));
-  }
+  make
+    (Spec.v ?window ?scatter ?strategy ?rr_config ?max_attempts Spec.Bst_ext
+       kind)
 
 let hashset ?buckets ?window ?scatter ?strategy ?rr_config ?max_attempts kind =
-  {
-    label = Structs.Mode.kind_name kind ^ "-hash";
-    make =
-      (fun () ->
-        Set_ops.of_hashset
-          (Structs.Hoh_hashset.create ~mode:kind ?buckets ?window ?scatter
-             ?strategy ?rr_config ?max_attempts ()));
-  }
+  make
+    (Spec.v ?window ?scatter ?strategy ?rr_config ?max_attempts ?buckets
+       Spec.Hashset kind)
 
 let skiplist ?window ?scatter ?strategy ?rr_config ?max_attempts kind =
-  {
-    label = Structs.Mode.kind_name kind ^ "-skip";
-    make =
-      (fun () ->
-        Set_ops.of_skiplist
-          (Structs.Hoh_skiplist.create ~mode:kind ?window ?scatter ?strategy
-             ?rr_config ?max_attempts ()));
-  }
+  make
+    (Spec.v ?window ?scatter ?strategy ?rr_config ?max_attempts Spec.Skiplist
+       kind)
 
 let lf_list reclaim =
   {

@@ -1,9 +1,62 @@
-(** Named constructors for every curve in the paper's figures. *)
+(** Named constructors for every curve in the paper's figures.
+
+    The unified entry point is {!Spec.v} plus {!make}: a specification
+    record names the structure, the concurrency-control/reclamation mode,
+    and every tuning knob in one value, so benchmarks can build, print, and
+    sweep configurations uniformly instead of threading six parallel
+    optional-argument lists. *)
 
 type factory = { label : string; make : unit -> Set_ops.handle }
 
 val rr_kinds : (string * Structs.Mode.kind) list
 (** The six reservation implementations, as [Mode.Rr_kind]s. *)
+
+(** A complete description of one benchmark configuration. *)
+module Spec : sig
+  type structure = Slist | Dlist | Bst_int | Bst_ext | Hashset | Skiplist
+
+  type t = {
+    structure : structure;
+    kind : Structs.Mode.kind;
+    window : int option;  (** hand-over-hand window budget *)
+    scatter : bool option;  (** scatter window boundaries across threads *)
+    strategy : Mempool.strategy option;
+    rr_config : Rr.Config.t option;
+    max_attempts : int option;  (** TM attempts before serial fallback *)
+    buckets : int option;  (** [Hashset] only *)
+    split_unlink : bool option;  (** [Dlist] only *)
+  }
+
+  val v :
+    ?window:int ->
+    ?scatter:bool ->
+    ?strategy:Mempool.strategy ->
+    ?rr_config:Rr.Config.t ->
+    ?max_attempts:int ->
+    ?buckets:int ->
+    ?split_unlink:bool ->
+    structure ->
+    Structs.Mode.kind ->
+    t
+  (** [v structure kind] builds a spec with every knob at the structure's
+      default.
+      @raise Invalid_argument if [buckets] or [split_unlink] is given for a
+      structure it does not apply to. *)
+
+  val structure_name : structure -> string
+
+  val label : t -> string
+  (** The curve label used in reports: the mode's name, suffixed with
+      ["-hash"] / ["-skip"] for the structures the paper plots separately. *)
+end
+
+val make : Spec.t -> factory
+(** Instantiate a specification. The handle is built afresh on each
+    [factory.make] call, so one spec can drive repeated runs. *)
+
+(** The historical per-structure constructors. Each is [make] composed with
+    {!Spec.v} and is kept only for source compatibility; new code should
+    use {!Spec}. *)
 
 val slist :
   ?window:int ->
@@ -13,6 +66,7 @@ val slist :
   ?max_attempts:int ->
   Structs.Mode.kind ->
   factory
+(** @deprecated Use [make (Spec.v Spec.Slist kind)]. *)
 
 val dlist :
   ?window:int ->
@@ -23,6 +77,7 @@ val dlist :
   ?split_unlink:bool ->
   Structs.Mode.kind ->
   factory
+(** @deprecated Use [make (Spec.v Spec.Dlist kind)]. *)
 
 val bst_int :
   ?window:int ->
@@ -32,6 +87,7 @@ val bst_int :
   ?max_attempts:int ->
   Structs.Mode.kind ->
   factory
+(** @deprecated Use [make (Spec.v Spec.Bst_int kind)]. *)
 
 val bst_ext :
   ?window:int ->
@@ -41,6 +97,7 @@ val bst_ext :
   ?max_attempts:int ->
   Structs.Mode.kind ->
   factory
+(** @deprecated Use [make (Spec.v Spec.Bst_ext kind)]. *)
 
 val hashset :
   ?buckets:int ->
@@ -51,6 +108,7 @@ val hashset :
   ?max_attempts:int ->
   Structs.Mode.kind ->
   factory
+(** @deprecated Use [make (Spec.v ?buckets Spec.Hashset kind)]. *)
 
 val skiplist :
   ?window:int ->
@@ -60,6 +118,7 @@ val skiplist :
   ?max_attempts:int ->
   Structs.Mode.kind ->
   factory
+(** @deprecated Use [make (Spec.v Spec.Skiplist kind)]. *)
 
 val lf_list : [ `Leak | `Hp ] -> factory
 val nm_tree : unit -> factory

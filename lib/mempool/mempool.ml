@@ -52,24 +52,41 @@ type 'a t = {
 let create ?(strategy = Thread_arena) ?(batch = 32) ~make ~node_id ~state
     ?(poison = fun _ -> ()) () =
   if batch < 1 then invalid_arg "Mempool.create: batch < 1";
-  {
-    strategy;
-    batch;
-    make;
-    node_id;
-    state;
-    poison;
-    next_id = Atomic.make 0;
-    global_nodes = Atomic.make [];
-    global_batches = Atomic.make [];
-    arenas =
-      Array.init Tm.Thread.max_threads (fun _ -> { nodes = []; count = 0 });
-    allocs = Atomic.make 0;
-    frees = Atomic.make 0;
-    fresh = Atomic.make 0;
-    global_ops = Atomic.make 0;
-    high_water = Atomic.make 0;
-  }
+  let t =
+    {
+      strategy;
+      batch;
+      make;
+      node_id;
+      state;
+      poison;
+      next_id = Atomic.make 0;
+      global_nodes = Atomic.make [];
+      global_batches = Atomic.make [];
+      arenas =
+        Array.init Tm.Thread.max_threads (fun _ -> { nodes = []; count = 0 });
+      allocs = Atomic.make 0;
+      frees = Atomic.make 0;
+      fresh = Atomic.make 0;
+      global_ops = Atomic.make 0;
+      high_water = Atomic.make 0;
+    }
+  in
+  (* Gauge registration happens at construction, so pools built before
+     telemetry is switched on cost nothing and report nothing. *)
+  if Telemetry.enabled () then
+    Telemetry.Gauges.register ~group:"mempool" ~name:(strategy_name strategy)
+      (fun () ->
+        let allocs = Atomic.get t.allocs and frees = Atomic.get t.frees in
+        [
+          ("live", float_of_int (allocs - frees));
+          ("freed", float_of_int frees);
+          ("allocs", float_of_int allocs);
+          ("fresh", float_of_int (Atomic.get t.fresh));
+          ("global_ops", float_of_int (Atomic.get t.global_ops));
+          ("high_water", float_of_int (Atomic.get t.high_water));
+        ]);
+  t
 
 let strategy t = t.strategy
 let id_of t n = t.node_id n

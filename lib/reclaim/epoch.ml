@@ -25,26 +25,40 @@ let now () = Unix.gettimeofday ()
 
 let create ?(advance_threshold = 32) ~free () =
   if advance_threshold < 1 then invalid_arg "Epoch.create";
-  {
-    advance_threshold;
-    free;
-    global = Atomic.make 2;
-    (* start at 2 so [epoch - 2] is never negative *)
-    advances = Atomic.make 0;
-    threads =
-      Array.init Tm.Thread.max_threads (fun _ ->
-          {
-            announce = Atomic.make 0;
-            bags = Array.init 3 (fun i -> { epoch = i - 3; nodes = [] });
-            retire_count = 0;
-            freed = 0;
-            delay_total = 0.;
-            delay_max = 0.;
-          });
-    retired_total = Atomic.make 0;
-    backlog = Atomic.make 0;
-    max_backlog = Atomic.make 0;
-  }
+  let t =
+    {
+      advance_threshold;
+      free;
+      global = Atomic.make 2;
+      (* start at 2 so [epoch - 2] is never negative *)
+      advances = Atomic.make 0;
+      threads =
+        Array.init Tm.Thread.max_threads (fun _ ->
+            {
+              announce = Atomic.make 0;
+              bags = Array.init 3 (fun i -> { epoch = i - 3; nodes = [] });
+              retire_count = 0;
+              freed = 0;
+              delay_total = 0.;
+              delay_max = 0.;
+            });
+      retired_total = Atomic.make 0;
+      backlog = Atomic.make 0;
+      max_backlog = Atomic.make 0;
+    }
+  in
+  if Telemetry.enabled () then
+    Telemetry.Gauges.register ~group:"reclaim" ~name:"epoch" (fun () ->
+        let retired = Atomic.get t.retired_total in
+        let backlog = Atomic.get t.backlog in
+        [
+          ("retired", float_of_int retired);
+          ("freed", float_of_int (retired - backlog));
+          ("backlog", float_of_int backlog);
+          ("max_backlog", float_of_int (Atomic.get t.max_backlog));
+          ("advances", float_of_int (Atomic.get t.advances));
+        ]);
+  t
 
 let enter t ~thread =
   let pt = t.threads.(thread) in

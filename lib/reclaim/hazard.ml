@@ -28,26 +28,40 @@ let create ?(slots_per_thread = 3) ?(scan_threshold = 64) ~free ~node_id () =
   if slots_per_thread < 1 then invalid_arg "Hazard.create: slots_per_thread";
   if scan_threshold < 1 then invalid_arg "Hazard.create: scan_threshold";
   let nthreads = Tm.Thread.max_threads in
-  {
-    slots_per_thread;
-    scan_threshold;
-    free;
-    node_id;
-    slots = Array.init (nthreads * slots_per_thread) (fun _ -> Atomic.make None);
-    threads =
-      Array.init nthreads (fun _ ->
-          {
-            retired = [];
-            retired_count = 0;
-            freed = 0;
-            scans = 0;
-            delay_total = 0.;
-            delay_max = 0.;
-          });
-    retired_total = Atomic.make 0;
-    backlog = Atomic.make 0;
-    max_backlog = Atomic.make 0;
-  }
+  let t =
+    {
+      slots_per_thread;
+      scan_threshold;
+      free;
+      node_id;
+      slots =
+        Array.init (nthreads * slots_per_thread) (fun _ -> Atomic.make None);
+      threads =
+        Array.init nthreads (fun _ ->
+            {
+              retired = [];
+              retired_count = 0;
+              freed = 0;
+              scans = 0;
+              delay_total = 0.;
+              delay_max = 0.;
+            });
+      retired_total = Atomic.make 0;
+      backlog = Atomic.make 0;
+      max_backlog = Atomic.make 0;
+    }
+  in
+  if Telemetry.enabled () then
+    Telemetry.Gauges.register ~group:"reclaim" ~name:"hazard" (fun () ->
+        let retired = Atomic.get t.retired_total in
+        let backlog = Atomic.get t.backlog in
+        [
+          ("retired", float_of_int retired);
+          ("freed", float_of_int (retired - backlog));
+          ("backlog", float_of_int backlog);
+          ("max_backlog", float_of_int (Atomic.get t.max_backlog));
+        ]);
+  t
 
 let slot_index t ~thread ~slot =
   if slot < 0 || slot >= t.slots_per_thread then invalid_arg "Hazard: slot";

@@ -59,10 +59,10 @@ let start_point t ~thread ~start =
 
 (* [on_leaf txn ~gp ~p ~leaf] with [p]/[gp] as available; [p = None] only
    when the tree is empty ([leaf] is then the root sentinel). *)
-let apply t ~thread key ~on_leaf =
+let apply t ~thread key ~site ~on_leaf =
   if key <= min_int + 1 || key >= max_int - 1 then
     invalid_arg "Hoh_bst_ext: key out of range";
-  Rr.Hoh.apply_stamped ~rr:t.mode.Mode.ops ?max_attempts:t.max_attempts
+  Rr.Hoh.apply_stamped ~rr:t.mode.Mode.ops ~site ?max_attempts:t.max_attempts
     (fun txn ~start ->
       let start, budget = start_point t ~thread ~start in
       match descend txn ~key ~start ~budget with
@@ -70,7 +70,7 @@ let apply t ~thread key ~on_leaf =
       | `Window c -> Rr.Hoh.Hand_off c)
 
 let lookup_s t ~thread key =
-  apply t ~thread key ~on_leaf:(fun txn ~gp:_ ~p:_ ~leaf ->
+  apply t ~thread key ~site:"bst_ext.lookup" ~on_leaf:(fun txn ~gp:_ ~p:_ ~leaf ->
       Rr.Hoh.Finish
         (Tnode.equal leaf t.root = false && Tm.read txn leaf.Tnode.key = key))
 
@@ -86,7 +86,7 @@ let insert_s t ~thread key =
         n
   in
   let result =
-    apply t ~thread key ~on_leaf:(fun txn ~gp:_ ~p ~leaf ->
+    apply t ~thread key ~site:"bst_ext.insert" ~on_leaf:(fun txn ~gp:_ ~p ~leaf ->
         if Tnode.equal leaf t.root then begin
           (* Empty tree: hang the first leaf off the sentinel. *)
           let nl = take spare_leaf in
@@ -121,7 +121,7 @@ let insert_s t ~thread key =
   result
 
 let remove_s t ~thread key =
-  apply t ~thread key ~on_leaf:(fun txn ~gp ~p ~leaf ->
+  apply t ~thread key ~site:"bst_ext.remove" ~on_leaf:(fun txn ~gp ~p ~leaf ->
       if Tnode.equal leaf t.root then Rr.Hoh.Finish false
       else if Tm.read txn leaf.Tnode.key <> key then Rr.Hoh.Finish false
       else

@@ -63,10 +63,10 @@ let start_point t ~thread ~start =
         if t.mode.Mode.whole_op then max_int
         else Window.first_budget t.window ~thread )
 
-let apply t ~thread key ~on_found ~on_notfound =
+let apply t ~thread key ~site ~on_found ~on_notfound =
   if key <= min_int + 1 || key >= max_int then
     invalid_arg "Hoh_bst_int: key out of range";
-  Rr.Hoh.apply_stamped ~rr:t.mode.Mode.ops ?max_attempts:t.max_attempts
+  Rr.Hoh.apply_stamped ~rr:t.mode.Mode.ops ~site ?max_attempts:t.max_attempts
     (fun txn ~start ->
       let start, budget = start_point t ~thread ~start in
       let outcome =
@@ -84,14 +84,14 @@ let apply t ~thread key ~on_found ~on_notfound =
       | `Found_unparented -> assert false (* root descent always has parents *))
 
 let lookup_s t ~thread key =
-  apply t ~thread key
+  apply t ~thread key ~site:"bst_int.lookup"
     ~on_found:(fun _ ~parent:_ ~curr:_ -> true)
     ~on_notfound:(fun _ ~parent:_ ~side:_ -> false)
 
 let insert_s t ~thread key =
   let spare = ref None in
   let result =
-    apply t ~thread key
+    apply t ~thread key ~site:"bst_int.insert"
       ~on_found:(fun _ ~parent:_ ~curr:_ -> false)
       ~on_notfound:(fun txn ~parent ~side ->
         let n =
@@ -153,7 +153,7 @@ let remove_two_children t txn ~curr ~right =
   t.mode.Mode.dispose txn lm
 
 let remove_s t ~thread key =
-  apply t ~thread key
+  apply t ~thread key ~site:"bst_int.remove"
     ~on_found:(fun txn ~parent ~curr ->
       let lv = Tm.read txn curr.Tnode.left in
       let rv = Tm.read txn curr.Tnode.right in

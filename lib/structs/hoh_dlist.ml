@@ -38,9 +38,9 @@ let start_point t ~thread ~start =
         if t.mode.Mode.whole_op then max_int
         else Window.first_budget t.window ~thread )
 
-let apply t ~thread key ~on_found ~on_notfound =
+let apply t ~thread key ~site ~on_found ~on_notfound =
   if key <= min_int + 1 then invalid_arg "Hoh_dlist: key out of range";
-  Rr.Hoh.apply_stamped ~rr:t.mode.Mode.ops ?max_attempts:t.max_attempts
+  Rr.Hoh.apply_stamped ~rr:t.mode.Mode.ops ~site ?max_attempts:t.max_attempts
     (fun txn ~start ->
       let prev, budget = start_point t ~thread ~start in
       match List_walk.walk txn ~key ~prev ~budget with
@@ -49,14 +49,14 @@ let apply t ~thread key ~on_found ~on_notfound =
       | `Window c -> Rr.Hoh.Hand_off c)
 
 let lookup_s t ~thread key =
-  apply t ~thread key
+  apply t ~thread key ~site:"dlist.lookup"
     ~on_found:(fun _ ~prev:_ ~curr:_ -> Rr.Hoh.Finish true)
     ~on_notfound:(fun _ ~prev:_ ~curr:_ -> false)
 
 let insert_s t ~thread key =
   let spare = ref None in
   let result =
-    apply t ~thread key
+    apply t ~thread key ~site:"dlist.insert"
       ~on_found:(fun _ ~prev:_ ~curr:_ -> Rr.Hoh.Finish false)
       ~on_notfound:(fun txn ~prev ~curr ->
         let n =
@@ -111,7 +111,8 @@ let remove_s t ~thread key =
   let reserve_stamp = ref 0 in
   let flex = ref false in
   let result, stamp =
-    Rr.Hoh.apply_stamped ~rr:t.mode.Mode.ops ?max_attempts:t.max_attempts
+    Rr.Hoh.apply_stamped ~rr:t.mode.Mode.ops ~site:"dlist.remove"
+      ?max_attempts:t.max_attempts
       (fun txn ~start ->
         let traverse ~start =
           let prev, budget = start_point t ~thread ~start in

@@ -35,10 +35,10 @@ let bucket_of t key =
 
 (* The per-bucket Apply is Listing 5 verbatim, with the bucket's sentinel
    in place of the global list head. *)
-let apply t ~thread key ~on_found ~on_notfound =
+let apply t ~thread key ~site ~on_found ~on_notfound =
   if key <= min_int + 1 then invalid_arg "Hoh_hashset: key out of range";
   let head = bucket_of t key in
-  Rr.Hoh.apply_stamped ~rr:t.mode.Mode.ops ?max_attempts:t.max_attempts
+  Rr.Hoh.apply_stamped ~rr:t.mode.Mode.ops ~site ?max_attempts:t.max_attempts
     (fun txn ~start ->
       let prev, budget =
         match start with
@@ -54,14 +54,14 @@ let apply t ~thread key ~on_found ~on_notfound =
       | `Window c -> Rr.Hoh.Hand_off c)
 
 let lookup_s t ~thread key =
-  apply t ~thread key
+  apply t ~thread key ~site:"hashset.lookup"
     ~on_found:(fun _ ~prev:_ ~curr:_ -> true)
     ~on_notfound:(fun _ ~prev:_ ~curr:_ -> false)
 
 let insert_s t ~thread key =
   let spare = ref None in
   let result =
-    apply t ~thread key
+    apply t ~thread key ~site:"hashset.insert"
       ~on_found:(fun _ ~prev:_ ~curr:_ -> false)
       ~on_notfound:(fun txn ~prev ~curr ->
         let n =
@@ -82,7 +82,7 @@ let insert_s t ~thread key =
   result
 
 let remove_s t ~thread key =
-  apply t ~thread key
+  apply t ~thread key ~site:"hashset.remove"
     ~on_found:(fun txn ~prev ~curr ->
       Tm.write txn prev.Lnode.next (Tm.read txn curr.Lnode.next);
       t.mode.Mode.invalidate txn curr;

@@ -27,9 +27,9 @@ let window_size t = Window.size t.window
 (* The [Apply] function of Listing 5. [on_found txn ~prev ~curr] runs when a
    node with the key is found; [on_notfound txn ~prev ~curr] when the key is
    absent ([curr] is the first node past it, or [None] at the tail). *)
-let apply t ~thread key ~on_found ~on_notfound =
+let apply t ~thread key ~site ~on_found ~on_notfound =
   if key <= min_int + 1 then invalid_arg "Hoh_list: key out of range";
-  Rr.Hoh.apply_stamped ~rr:t.mode.Mode.ops ?max_attempts:t.max_attempts
+  Rr.Hoh.apply_stamped ~rr:t.mode.Mode.ops ~site ?max_attempts:t.max_attempts
     (fun txn ~start ->
       let prev, budget =
         match start with
@@ -45,14 +45,14 @@ let apply t ~thread key ~on_found ~on_notfound =
       | `Window c -> Rr.Hoh.Hand_off c)
 
 let lookup_s t ~thread key =
-  apply t ~thread key
+  apply t ~thread key ~site:"slist.lookup"
     ~on_found:(fun _ ~prev:_ ~curr:_ -> true)
     ~on_notfound:(fun _ ~prev:_ ~curr:_ -> false)
 
 let insert_s t ~thread key =
   let spare = ref None in
   let result =
-    apply t ~thread key
+    apply t ~thread key ~site:"slist.insert"
       ~on_found:(fun _ ~prev:_ ~curr:_ -> false)
       ~on_notfound:(fun txn ~prev ~curr ->
         let n =
@@ -77,7 +77,7 @@ let insert_s t ~thread key =
 
 let remove_s t ~thread key =
   ignore thread;
-  apply t ~thread key
+  apply t ~thread key ~site:"slist.remove"
     ~on_found:(fun txn ~prev ~curr ->
       Tm.write txn prev.Lnode.next (Tm.read txn curr.Lnode.next);
       t.mode.Mode.invalidate txn curr;

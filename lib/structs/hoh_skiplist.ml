@@ -86,11 +86,11 @@ let pred_with_hint txn t ~key ~preds l =
 (* The windowed traversal. [on_position txn ~preds ~pred0 ~curr] runs in the
    final transaction once level 0 is reached: [pred0 = preds.(0)] is fresh,
    [curr] its level-0 successor (the candidate match). *)
-let apply t ~thread key ~on_position =
+let apply t ~thread key ~site ~on_position =
   if key <= min_int + 1 then invalid_arg "Hoh_skiplist: key out of range";
   let preds = Array.make Snode.max_level t.head in
   let resume_level = ref (Snode.max_level - 1) in
-  Rr.Hoh.apply_stamped ~rr:t.mode.Mode.ops ?max_attempts:t.max_attempts
+  Rr.Hoh.apply_stamped ~rr:t.mode.Mode.ops ~site ?max_attempts:t.max_attempts
     (fun txn ~start ->
       let node, lvl, budget =
         match start with
@@ -124,13 +124,14 @@ let key_matches txn curr key =
   | None -> false
 
 let lookup_s t ~thread key =
-  apply t ~thread key ~on_position:(fun txn ~preds:_ ~pred0:_ ~curr ->
-      key_matches txn curr key)
+  apply t ~thread key ~site:"skiplist.lookup"
+    ~on_position:(fun txn ~preds:_ ~pred0:_ ~curr -> key_matches txn curr key)
 
 let insert_s t ~thread key =
   let spare = ref None in
   let result =
-    apply t ~thread key ~on_position:(fun txn ~preds ~pred0:_ ~curr ->
+    apply t ~thread key ~site:"skiplist.insert"
+      ~on_position:(fun txn ~preds ~pred0:_ ~curr ->
         if key_matches txn curr key then false
         else begin
           let n =
@@ -157,7 +158,8 @@ let insert_s t ~thread key =
   result
 
 let remove_s t ~thread key =
-  apply t ~thread key ~on_position:(fun txn ~preds ~pred0:_ ~curr ->
+  apply t ~thread key ~site:"skiplist.remove"
+    ~on_position:(fun txn ~preds ~pred0:_ ~curr ->
       match curr with
       | Some c when Tm.read txn c.Snode.key = key ->
           (* the deleted flag is the hint-validity marker in every mode *)

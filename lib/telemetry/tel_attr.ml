@@ -1,0 +1,130 @@
+(* Abort attribution: for every (site, cause) pair, how many aborts
+   occurred and which tvars caused them. Recording happens on the abort
+   path only — an abort already cost a failed transaction, so a hashtable
+   update is acceptable there (the commit fast path never touches this).
+
+   The per-cell tvar table is capped: once [max_tvars] distinct uids have
+   been seen, further uids fold into the [overflow_uid] pseudo-entry so a
+   pathological workload cannot grow attribution memory without bound. *)
+
+let max_tvars = 64
+let overflow_uid = -2
+let no_uid = -1
+
+type cell = { mutable count : int; tvars : (int, int ref) Hashtbl.t }
+
+type t = { cells : (string * string, cell) Hashtbl.t }
+
+let create () = { cells = Hashtbl.create 16 }
+
+let clear t = Hashtbl.reset t.cells
+
+let cell t ~site ~cause =
+  let key = (site, cause) in
+  match Hashtbl.find_opt t.cells key with
+  | Some c -> c
+  | None ->
+      let c = { count = 0; tvars = Hashtbl.create 8 } in
+      Hashtbl.add t.cells key c;
+      c
+
+let bump_tvar c uid =
+  let uid =
+    if uid < 0 then no_uid
+    else if Hashtbl.length c.tvars >= max_tvars && not (Hashtbl.mem c.tvars uid)
+    then overflow_uid
+    else uid
+  in
+  match Hashtbl.find_opt c.tvars uid with
+  | Some r -> incr r
+  | None -> Hashtbl.add c.tvars uid (ref 1)
+
+let record t ~site ~cause ~uid =
+  let c = cell t ~site ~cause in
+  c.count <- c.count + 1;
+  bump_tvar c uid
+
+let count t ~site ~cause =
+  match Hashtbl.find_opt t.cells (site, cause) with
+  | Some c -> c.count
+  | None -> 0
+
+let is_empty t = Hashtbl.length t.cells = 0
+
+let total t = Hashtbl.fold (fun _ c acc -> acc + c.count) t.cells 0
+
+type entry = {
+  site : string;
+  cause : string;
+  count : int;
+  top_tvars : (int * int) list;  (** (uid, count), descending; -1 = unknown *)
+}
+
+let top_k = 8
+
+let entries t =
+  Hashtbl.fold
+    (fun (site, cause) (c : cell) acc ->
+      let tvars =
+        Hashtbl.fold (fun uid r acc -> (uid, !r) :: acc) c.tvars []
+        |> List.sort (fun (ua, a) (ub, b) ->
+               if a <> b then compare b a else compare ua ub)
+      in
+      let top_tvars =
+        List.filteri (fun i _ -> i < top_k) tvars
+      in
+      { site; cause; count = c.count; top_tvars } :: acc)
+    t.cells []
+  |> List.sort (fun a b ->
+         if a.count <> b.count then compare b.count a.count
+         else compare (a.site, a.cause) (b.site, b.cause))
+
+let merge ~into src =
+  Hashtbl.iter
+    (fun (site, cause) (c : cell) ->
+      let dst = cell into ~site ~cause in
+      dst.count <- dst.count + c.count;
+      Hashtbl.iter
+        (fun uid r ->
+          for _ = 1 to !r do
+            bump_tvar dst uid
+          done)
+        c.tvars)
+    src.cells
+
+let to_json t =
+  Tel_json.List
+    (List.map
+       (fun e ->
+         Tel_json.Obj
+           [
+             ("site", Tel_json.String e.site);
+             ("cause", Tel_json.String e.cause);
+             ("count", Tel_json.Int e.count);
+             ( "tvars",
+               Tel_json.List
+                 (List.map
+                    (fun (uid, n) ->
+                      Tel_json.Obj
+                        [ ("uid", Tel_json.Int uid); ("count", Tel_json.Int n) ])
+                    e.top_tvars) );
+           ])
+       (entries t))
+
+let pp ppf t =
+  if is_empty t then Format.fprintf ppf "  (no aborts recorded)@."
+  else
+    List.iter
+      (fun e ->
+        let tvars =
+          String.concat ", "
+            (List.map
+               (fun (uid, n) ->
+                 if uid = no_uid then Printf.sprintf "?x%d" n
+                 else if uid = overflow_uid then Printf.sprintf "(other)x%d" n
+                 else Printf.sprintf "#%dx%d" uid n)
+               e.top_tvars)
+        in
+        Format.fprintf ppf "  %-28s %-14s %8d  [%s]@." e.site e.cause e.count
+          tvars)
+      (entries t)

@@ -1,0 +1,38 @@
+(** Abort attribution: (site × cause × tvar) counts.
+
+    A {e site} is a caller-supplied static label naming the structure and
+    operation that ran the transaction (e.g. ["slist(RR-XO).insert"]); the
+    {e cause} is the abort cause; the tvar uid identifies the conflicting
+    location when the TM knows it ([-1] when it does not, e.g. a
+    serial-pending back-off). Recording is confined to the abort path. A
+    record is owned by one thread; {!merge} aggregates after quiescence. *)
+
+type t
+
+val create : unit -> t
+val clear : t -> unit
+
+val record : t -> site:string -> cause:string -> uid:int -> unit
+(** Count one abort. [uid < 0] means "unknown location". Distinct uids per
+    (site, cause) are capped at 64; the excess folds into a [-2] overflow
+    pseudo-uid. *)
+
+val count : t -> site:string -> cause:string -> int
+val is_empty : t -> bool
+val total : t -> int
+
+type entry = {
+  site : string;
+  cause : string;
+  count : int;
+  top_tvars : (int * int) list;
+      (** (uid, count) pairs, by descending count, at most 8; uid [-1] is
+          "unknown", [-2] is the overflow bucket *)
+}
+
+val entries : t -> entry list
+(** All cells, by descending abort count. *)
+
+val merge : into:t -> t -> unit
+val to_json : t -> Tel_json.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,76 @@
+(* Registry of gauge providers. A component (memory pool, reservation
+   instance, reclaimer) registers a named closure at construction time;
+   {!sample} evaluates all of them at report time. Registration and
+   sampling are rare and mutex-protected; the providers themselves read
+   atomics owned by the component, so sampling is safe after quiescence
+   (and approximate, but race-free, before it). *)
+
+type sample = {
+  group : string;
+  name : string;
+  values : (string * float) list;
+}
+
+type provider = {
+  p_group : string;
+  p_name : string;
+  read : unit -> (string * float) list;
+}
+
+let mutex = Mutex.create ()
+let providers : provider list ref = ref []
+
+let with_lock f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let register ~group ~name read =
+  with_lock (fun () ->
+      (* Disambiguate repeated registrations of the same component kind
+         (one pool per structure instance, say) with an ordinal suffix. *)
+      let same p =
+        p.p_group = group
+        && (p.p_name = name
+           ||
+           let l = String.length name in
+           String.length p.p_name > l + 1
+           && String.sub p.p_name 0 (l + 1) = name ^ "#")
+      in
+      let dups = List.length (List.filter same !providers) in
+      let name = if dups = 0 then name else Printf.sprintf "%s#%d" name dups in
+      providers := { p_group = group; p_name = name; read } :: !providers)
+
+let clear () = with_lock (fun () -> providers := [])
+
+let sample () =
+  let ps = with_lock (fun () -> List.rev !providers) in
+  List.map (fun p -> { group = p.p_group; name = p.p_name; values = p.read () }) ps
+
+let to_json samples =
+  Tel_json.List
+    (List.map
+       (fun s ->
+         Tel_json.Obj
+           [
+             ("group", Tel_json.String s.group);
+             ("name", Tel_json.String s.name);
+             ( "values",
+               Tel_json.Obj
+                 (List.map (fun (k, v) -> (k, Tel_json.Float v)) s.values) );
+           ])
+       samples)
+
+let pp ppf samples =
+  if samples = [] then Format.fprintf ppf "  (no gauges registered)@."
+  else
+    List.iter
+      (fun s ->
+        Format.fprintf ppf "  %-10s %-24s %s@." s.group s.name
+          (String.concat " "
+             (List.map
+                (fun (k, v) ->
+                  if Float.is_integer v then
+                    Printf.sprintf "%s=%.0f" k v
+                  else Printf.sprintf "%s=%.3g" k v)
+                s.values)))
+      samples

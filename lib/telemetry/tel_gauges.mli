@@ -1,0 +1,28 @@
+(** Gauge provider registry: components (pools, reservation instances,
+    reclaimers) register named sampler closures at construction time, and
+    {!sample} reads them all at report time.
+
+    Components should only register when telemetry is enabled (the
+    registry never drops entries on its own — a long-lived process that
+    churns instances must {!clear} between measurement windows, as the
+    benchmark drivers do). *)
+
+type sample = {
+  group : string;  (** component family: ["mempool"], ["rr"], ["reclaim"] *)
+  name : string;  (** instance label, suffixed [#n] on repeats *)
+  values : (string * float) list;
+}
+
+val register :
+  group:string -> name:string -> (unit -> (string * float) list) -> unit
+(** Register a sampler. The closure is called at {!sample} time; it must
+    be safe to call from any thread (read atomics, don't mutate). *)
+
+val clear : unit -> unit
+(** Drop all providers (start a fresh measurement window). *)
+
+val sample : unit -> sample list
+(** Evaluate every provider, in registration order. *)
+
+val to_json : sample list -> Tel_json.t
+val pp : Format.formatter -> sample list -> unit

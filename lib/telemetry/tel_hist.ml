@@ -1,0 +1,137 @@
+(* HDR-style log-bucketed histogram over non-negative integers
+   (nanoseconds). A value [v >= 8] lands in the bucket addressed by the
+   position of its most significant bit plus the next [sub_bits] bits, so
+   the relative bucketing error is bounded by 2^-sub_bits = 12.5% while the
+   whole structure is one fixed [int array] — recording never allocates.
+   Values 0..7 get exact buckets. *)
+
+let sub_bits = 3
+let sub = 1 lsl sub_bits
+let max_major = 62
+
+(* buckets 0..7 are exact; then [sub] buckets per power of two *)
+let nbuckets = sub + ((max_major - sub_bits + 1) * sub)
+
+type t = {
+  counts : int array;
+  mutable n : int;
+  mutable sum : int;
+  mutable vmin : int;
+  mutable vmax : int;
+}
+
+let create () =
+  { counts = Array.make nbuckets 0; n = 0; sum = 0; vmin = max_int; vmax = 0 }
+
+let reset t =
+  Array.fill t.counts 0 nbuckets 0;
+  t.n <- 0;
+  t.sum <- 0;
+  t.vmin <- max_int;
+  t.vmax <- 0
+
+let msb v =
+  let r = ref 0 and v = ref v in
+  while !v > 1 do
+    v := !v lsr 1;
+    incr r
+  done;
+  !r
+
+let index_of v =
+  if v < sub then v
+  else
+    let m = msb v in
+    let sub_i = (v lsr (m - sub_bits)) - sub in
+    sub + ((m - sub_bits) * sub) + sub_i
+
+(* Inclusive lower bound of bucket [i]; every recorded value [v] satisfies
+   [lower_bound (index_of v) <= v]. *)
+let lower_bound i =
+  if i < sub then i
+  else
+    let g = (i - sub) / sub and s = (i - sub) mod sub in
+    let m = g + sub_bits in
+    (1 lsl m) + (s lsl (m - sub_bits))
+
+let record t v =
+  let v = if v < 0 then 0 else v in
+  t.counts.(index_of v) <- t.counts.(index_of v) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum + v;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v
+
+let count t = t.n
+let sum t = t.sum
+let is_empty t = t.n = 0
+let min_value t = if t.n = 0 then 0 else t.vmin
+let max_value t = t.vmax
+let mean t = if t.n = 0 then 0. else float_of_int t.sum /. float_of_int t.n
+
+(* Value at quantile [q] in [0,1]: the lower bound of the bucket holding
+   the ceil(q*n)-th smallest recorded value (so the estimate never exceeds
+   the true quantile by more than one bucket width). *)
+let quantile t q =
+  if t.n = 0 then 0
+  else begin
+    let rank = int_of_float (ceil (q *. float_of_int t.n)) in
+    let rank = if rank < 1 then 1 else if rank > t.n then t.n else rank in
+    let acc = ref 0 and i = ref 0 and res = ref t.vmax in
+    (try
+       while !i < nbuckets do
+         acc := !acc + t.counts.(!i);
+         if !acc >= rank then begin
+           res := lower_bound !i;
+           raise Exit
+         end;
+         incr i
+       done
+     with Exit -> ());
+    if !res > t.vmax then t.vmax else !res
+  end
+
+let merge ~into src =
+  for i = 0 to nbuckets - 1 do
+    into.counts.(i) <- into.counts.(i) + src.counts.(i)
+  done;
+  into.n <- into.n + src.n;
+  into.sum <- into.sum + src.sum;
+  if src.n > 0 then begin
+    if src.vmin < into.vmin then into.vmin <- src.vmin;
+    if src.vmax > into.vmax then into.vmax <- src.vmax
+  end
+
+let copy t =
+  let c = create () in
+  merge ~into:c t;
+  c
+
+let to_json t =
+  let buckets = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    if t.counts.(i) > 0 then
+      buckets :=
+        Tel_json.List [ Tel_json.Int (lower_bound i); Tel_json.Int t.counts.(i) ]
+        :: !buckets
+  done;
+  Tel_json.Obj
+    [
+      ("count", Tel_json.Int t.n);
+      ("sum", Tel_json.Int t.sum);
+      ("min", Tel_json.Int (min_value t));
+      ("max", Tel_json.Int t.vmax);
+      ("mean", Tel_json.Float (mean t));
+      ("p50", Tel_json.Int (quantile t 0.50));
+      ("p90", Tel_json.Int (quantile t 0.90));
+      ("p99", Tel_json.Int (quantile t 0.99));
+      ("buckets", Tel_json.List !buckets);
+    ]
+
+let pp ppf t =
+  if t.n = 0 then Format.fprintf ppf "(empty)"
+  else
+    Format.fprintf ppf
+      "n=%d mean=%.0f min=%d p50=%d p90=%d p99=%d max=%d" t.n (mean t)
+      (min_value t) (quantile t 0.50) (quantile t 0.90) (quantile t 0.99)
+      t.vmax

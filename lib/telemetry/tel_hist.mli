@@ -1,0 +1,43 @@
+(** Allocation-free log-bucketed (HDR-style) latency histogram.
+
+    Values are non-negative integers (nanoseconds by convention). Buckets
+    are exact below 8 and otherwise indexed by the most significant bit
+    plus the next 3 bits, bounding relative error at 12.5%. A histogram is
+    one fixed array: {!record} performs two array updates and never
+    allocates, so it is safe on hot paths. A histogram must be owned by a
+    single thread; cross-thread aggregation goes through {!merge} after
+    quiescence. *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+val record : t -> int -> unit
+(** Record one value; negatives clamp to 0. *)
+
+val count : t -> int
+val sum : t -> int
+val is_empty : t -> bool
+val min_value : t -> int
+val max_value : t -> int
+val mean : t -> float
+
+val quantile : t -> float -> int
+(** [quantile t q] for [q] in [0,1]: lower bound of the bucket holding the
+    rank-[ceil q*n] value; underestimates by at most one bucket width. *)
+
+val merge : into:t -> t -> unit
+val copy : t -> t
+
+val index_of : int -> int
+(** Bucket index of a value (exposed for tests). *)
+
+val lower_bound : int -> int
+(** Inclusive lower bound of a bucket: [lower_bound (index_of v) <= v]. *)
+
+val to_json : t -> Tel_json.t
+(** [{count; sum; min; max; mean; p50; p90; p99; buckets: [[lo; n]; ...]}]
+    with only non-empty buckets listed. *)
+
+val pp : Format.formatter -> t -> unit

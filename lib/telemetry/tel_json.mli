@@ -1,0 +1,34 @@
+(** A minimal JSON tree, printer and parser — enough for telemetry export
+    and the report round-trip tests without pulling in an external JSON
+    dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val equal : t -> t -> bool
+(** Structural equality (field order is significant in [Obj]). *)
+
+val to_string : t -> string
+(** Compact rendering. Non-finite floats render as [null]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string} on the subset it emits; also accepts
+    whitespace, [\u] escapes, and float notation generally. *)
+
+val member : string -> t -> t option
+(** [member k (Obj kvs)] is the value bound to [k], if any. *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+(** [Int]s coerce to float. *)
+
+val to_string_opt : t -> string option
+val to_list : t -> t list option

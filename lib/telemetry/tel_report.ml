@@ -1,0 +1,146 @@
+let schema = "hohtx-telemetry/1"
+
+type t = {
+  label : string;
+  counters : Tel_counters.t option;
+  attempts : Tel_hist.t;
+  ops : Tel_hist.t;
+  serial : Tel_hist.t;
+  attribution : Tel_attr.t;
+  gauges : Tel_gauges.sample list;
+}
+
+let snapshot ?(label = "") ?counters () =
+  let attempts = Tel_hist.create ()
+  and ops = Tel_hist.create ()
+  and serial = Tel_hist.create ()
+  and attribution = Tel_attr.create () in
+  Tel_state.iter_slots (fun s ->
+      Tel_hist.merge ~into:attempts s.Tel_state.attempts;
+      Tel_hist.merge ~into:ops s.Tel_state.ops;
+      Tel_hist.merge ~into:serial s.Tel_state.serial;
+      Tel_attr.merge ~into:attribution s.Tel_state.attr);
+  {
+    label;
+    counters;
+    attempts;
+    ops;
+    serial;
+    attribution;
+    gauges = Tel_gauges.sample ();
+  }
+
+let to_json t =
+  Tel_json.Obj
+    [
+      ("schema", Tel_json.String schema);
+      ("label", Tel_json.String t.label);
+      ( "tm",
+        match t.counters with
+        | Some c -> Tel_counters.to_json c
+        | None -> Tel_json.Null );
+      ( "latency_ns",
+        Tel_json.Obj
+          [
+            ("attempt", Tel_hist.to_json t.attempts);
+            ("op", Tel_hist.to_json t.ops);
+            ("serial_fallback", Tel_hist.to_json t.serial);
+          ] );
+      ("aborts", Tel_attr.to_json t.attribution);
+      ("gauges", Tel_gauges.to_json t.gauges);
+    ]
+
+(* Schema validation for smoke tests: the report must carry the current
+   schema tag and every top-level section with the right shape. *)
+let validate json =
+  let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v in
+  let need name = function
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing field %S" name)
+  in
+  let hist_ok name j =
+    let* h =
+      match j with
+      | Tel_json.Obj _ -> Ok j
+      | _ -> Error (Printf.sprintf "%s: not an object" name)
+    in
+    let int_field f =
+      let* v = need (name ^ "." ^ f) (Tel_json.member f h) in
+      match Tel_json.to_int v with
+      | Some _ -> Ok ()
+      | None -> Error (Printf.sprintf "%s.%s: not an int" name f)
+    in
+    let* () = int_field "count" in
+    let* () = int_field "sum" in
+    let* () = int_field "p50" in
+    let* () = int_field "p99" in
+    let* b = need (name ^ ".buckets") (Tel_json.member "buckets" h) in
+    match Tel_json.to_list b with
+    | Some _ -> Ok ()
+    | None -> Error (name ^ ".buckets: not a list")
+  in
+  let* s = need "schema" (Tel_json.member "schema" json) in
+  let* () =
+    if s = Tel_json.String schema then Ok ()
+    else Error "schema: unknown version tag"
+  in
+  let* lat = need "latency_ns" (Tel_json.member "latency_ns" json) in
+  let* a = need "latency_ns.attempt" (Tel_json.member "attempt" lat) in
+  let* () = hist_ok "attempt" a in
+  let* o = need "latency_ns.op" (Tel_json.member "op" lat) in
+  let* () = hist_ok "op" o in
+  let* f = need "latency_ns.serial_fallback" (Tel_json.member "serial_fallback" lat) in
+  let* () = hist_ok "serial_fallback" f in
+  let* aborts = need "aborts" (Tel_json.member "aborts" json) in
+  let* entries =
+    match Tel_json.to_list aborts with
+    | Some l -> Ok l
+    | None -> Error "aborts: not a list"
+  in
+  let* () =
+    List.fold_left
+      (fun acc e ->
+        let* () = acc in
+        let* _ = need "aborts[].site" (Tel_json.member "site" e) in
+        let* _ = need "aborts[].cause" (Tel_json.member "cause" e) in
+        let* c = need "aborts[].count" (Tel_json.member "count" e) in
+        let* _ = need "aborts[].tvars" (Tel_json.member "tvars" e) in
+        match Tel_json.to_int c with
+        | Some _ -> Ok ()
+        | None -> Error "aborts[].count: not an int")
+      (Ok ()) entries
+  in
+  let* gauges = need "gauges" (Tel_json.member "gauges" json) in
+  let* samples =
+    match Tel_json.to_list gauges with
+    | Some l -> Ok l
+    | None -> Error "gauges: not a list"
+  in
+  List.fold_left
+    (fun acc g ->
+      let* () = acc in
+      let* _ = need "gauges[].group" (Tel_json.member "group" g) in
+      let* _ = need "gauges[].name" (Tel_json.member "name" g) in
+      let* v = need "gauges[].values" (Tel_json.member "values" g) in
+      match v with
+      | Tel_json.Obj _ -> Ok ()
+      | _ -> Error "gauges[].values: not an object")
+    (Ok ()) samples
+
+let pp_hist_row ppf name h =
+  Format.fprintf ppf "  %-18s %a@." name Tel_hist.pp h
+
+let pp ppf t =
+  Format.fprintf ppf "== telemetry report%s ==@."
+    (if t.label = "" then "" else " [" ^ t.label ^ "]");
+  (match t.counters with
+  | Some c -> Format.fprintf ppf "tm: %a@." Tel_counters.pp c
+  | None -> ());
+  Format.fprintf ppf "latency (ns):@.";
+  pp_hist_row ppf "attempt" t.attempts;
+  pp_hist_row ppf "op" t.ops;
+  pp_hist_row ppf "serial fallback" t.serial;
+  Format.fprintf ppf "abort attribution (site, cause, count, top tvars):@.";
+  Tel_attr.pp ppf t.attribution;
+  Format.fprintf ppf "gauges:@.";
+  Tel_gauges.pp ppf t.gauges

@@ -1,0 +1,33 @@
+(** Post-quiescence telemetry reports.
+
+    {!snapshot} aggregates every per-thread slot (latency histograms and
+    abort attribution) and samples the gauge registry; the result renders
+    as a human-readable table ({!pp}) or machine-readable JSON
+    ({!to_json}) under the [hohtx-telemetry/1] schema. Snapshot only after
+    worker threads have quiesced — the slots are being written until
+    then. *)
+
+val schema : string
+(** The schema tag embedded in every JSON report. *)
+
+type t = {
+  label : string;
+  counters : Tel_counters.t option;
+      (** aggregated TM counters, when the caller has them *)
+  attempts : Tel_hist.t;
+  ops : Tel_hist.t;
+  serial : Tel_hist.t;
+  attribution : Tel_attr.t;
+  gauges : Tel_gauges.sample list;
+}
+
+val snapshot : ?label:string -> ?counters:Tel_counters.t -> unit -> t
+
+val to_json : t -> Tel_json.t
+
+val validate : Tel_json.t -> (unit, string) result
+(** Check that a JSON value is a well-formed [hohtx-telemetry/1] report:
+    schema tag, the three latency histograms, attribution entries and
+    gauge samples all shaped as {!to_json} emits them. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,53 @@
+(* Global telemetry state: the master switch and the per-thread slots the
+   TM records into. Slot [i] belongs to the thread holding TM thread id
+   [i]; ids are recycled across domains, so a slot aggregates every domain
+   that held the id during the measurement window — which is exactly what a
+   post-quiescence report wants. *)
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+(* Must cover Tm.Thread.max_threads; the TM asserts this at start-up. *)
+let max_threads = 128
+
+type slot = {
+  attempts : Tel_hist.t;  (** latency of every speculative attempt *)
+  ops : Tel_hist.t;  (** whole committed operation, retries included *)
+  serial : Tel_hist.t;  (** serial-fallback executions *)
+  attr : Tel_attr.t;
+}
+
+let make_slot () =
+  {
+    attempts = Tel_hist.create ();
+    ops = Tel_hist.create ();
+    serial = Tel_hist.create ();
+    attr = Tel_attr.create ();
+  }
+
+let slots : slot option array = Array.make max_threads None
+
+let slot id =
+  match slots.(id) with
+  | Some s -> s
+  | None ->
+      let s = make_slot () in
+      slots.(id) <- Some s;
+      s
+
+let reset_slots () =
+  Array.iter
+    (function
+      | None -> ()
+      | Some s ->
+          Tel_hist.reset s.attempts;
+          Tel_hist.reset s.ops;
+          Tel_hist.reset s.serial;
+          Tel_attr.clear s.attr)
+    slots
+
+let iter_slots f =
+  Array.iter (function None -> () | Some s -> f s) slots
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)

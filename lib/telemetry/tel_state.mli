@@ -1,0 +1,32 @@
+(** The telemetry master switch and the per-thread recording slots.
+
+    Everything here is process-global. The switch is off by default; the
+    TM samples it once per [atomic] call, so flipping it mid-run affects
+    operations that start afterwards. Slots are created lazily, written
+    only by their owning thread, and read by reports after quiescence. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val max_threads : int
+(** Capacity of the slot table (= the TM's thread-id space). *)
+
+type slot = {
+  attempts : Tel_hist.t;
+  ops : Tel_hist.t;
+  serial : Tel_hist.t;
+  attr : Tel_attr.t;
+}
+
+val slot : int -> slot
+(** The slot for a TM thread id, created on first use. Call only from the
+    owning thread (or before any worker runs). *)
+
+val reset_slots : unit -> unit
+(** Zero every slot — start a measurement window. Only meaningful while no
+    worker threads are recording. *)
+
+val iter_slots : (slot -> unit) -> unit
+
+val now_ns : unit -> int
+(** Wall-clock nanoseconds (microsecond-granular underneath). *)

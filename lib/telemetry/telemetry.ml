@@ -1,0 +1,21 @@
+module Json = Tel_json
+module Histogram = Tel_hist
+module Counters = Tel_counters
+module Attribution = Tel_attr
+module Gauges = Tel_gauges
+module Report = Tel_report
+
+let enabled = Tel_state.enabled
+let set_enabled = Tel_state.set_enabled
+let max_threads = Tel_state.max_threads
+
+type slot = Tel_state.slot = {
+  attempts : Tel_hist.t;
+  ops : Tel_hist.t;
+  serial : Tel_hist.t;
+  attr : Tel_attr.t;
+}
+
+let slot = Tel_state.slot
+let reset_slots = Tel_state.reset_slots
+let now_ns = Tel_state.now_ns

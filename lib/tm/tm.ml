@@ -32,6 +32,7 @@ type txn = {
   mutable active : bool;
   mutable r_locks : int Atomic.t array;
   mutable r_words : int array;
+  mutable r_uids : int array;
   mutable rn : int;
   mutable wset : wentry array;
   mutable wn : int;
@@ -39,6 +40,11 @@ type txn = {
   mutable stamp : int;
   mutable read_only : bool;
   mutable must_validate : bool;
+  (* Telemetry: the site label of the enclosing [atomic] call and the uid
+     of the tvar that caused the pending abort (-1 when unknown). Both are
+     only written on slow paths (atomic entry, abort raise sites). *)
+  mutable site : string;
+  mutable conflict_uid : int;
 }
 
 type 'a result = {
@@ -53,6 +59,9 @@ let dummy_lock = Atomic.make 0
 let dummy_wentry = W { tv = { lock = Atomic.make 0; cell = Atomic.make 0; uid = -1 }; v = 0 }
 
 let max_threads = 128
+let () = assert (max_threads <= Telemetry.max_threads)
+
+let no_site = "?"
 
 (* Global serial token and per-thread committing flags implementing the
    Dekker-style quiescence handshake between speculative committers and the
@@ -72,6 +81,7 @@ type thread_state = {
   txn : txn;
   backoff : Backoff.t;
   t_stats : Tm_stats.t;
+  t_slot : Telemetry.slot;
 }
 
 let fresh_txn tid =
@@ -83,6 +93,7 @@ let fresh_txn tid =
     active = false;
     r_locks = Array.make 64 dummy_lock;
     r_words = Array.make 64 0;
+    r_uids = Array.make 64 (-1);
     rn = 0;
     wset = Array.make 16 dummy_wentry;
     wn = 0;
@@ -90,6 +101,8 @@ let fresh_txn tid =
     stamp = 0;
     read_only = true;
     must_validate = false;
+    site = no_site;
+    conflict_uid = -1;
   }
 
 module Thread = struct
@@ -131,7 +144,8 @@ module Thread = struct
     | None ->
         let id = acquire_id () in
         let st =
-          { id; txn = fresh_txn id; backoff = Backoff.create (); t_stats = Tm_stats.create () }
+          { id; txn = fresh_txn id; backoff = Backoff.create ();
+            t_stats = Tm_stats.create (); t_slot = Telemetry.slot id }
         in
         Domain.DLS.set dls_key (Some st);
         st
@@ -155,17 +169,22 @@ end
 
 (* ---- read/write sets ---- *)
 
-let rset_push txn lock word =
+let rset_push txn lock word uid =
   if txn.rn = Array.length txn.r_locks then begin
     let n = 2 * txn.rn in
-    let locks = Array.make n dummy_lock and words = Array.make n 0 in
+    let locks = Array.make n dummy_lock
+    and words = Array.make n 0
+    and uids = Array.make n (-1) in
     Array.blit txn.r_locks 0 locks 0 txn.rn;
     Array.blit txn.r_words 0 words 0 txn.rn;
+    Array.blit txn.r_uids 0 uids 0 txn.rn;
     txn.r_locks <- locks;
-    txn.r_words <- words
+    txn.r_words <- words;
+    txn.r_uids <- uids
   end;
   txn.r_locks.(txn.rn) <- lock;
   txn.r_words.(txn.rn) <- word;
+  txn.r_uids.(txn.rn) <- uid;
   txn.rn <- txn.rn + 1
 
 let wset_find : type a. txn -> a tvar -> a option =
@@ -228,12 +247,17 @@ let read (txn : txn) tv =
     | Some v -> v
     | None ->
         let l1 = Atomic.get tv.lock in
-        if locked l1 then raise (Abort Lock_busy);
+        if locked l1 then begin
+          txn.conflict_uid <- tv.uid;
+          raise (Abort Lock_busy)
+        end;
         let v = Atomic.get tv.cell in
         let l2 = Atomic.get tv.lock in
-        if l1 <> l2 then raise (Abort Read_invalid);
-        if version l1 > txn.rv then raise (Abort Read_invalid);
-        rset_push txn tv.lock l1;
+        if l1 <> l2 || version l1 > txn.rv then begin
+          txn.conflict_uid <- tv.uid;
+          raise (Abort Read_invalid)
+        end;
+        rset_push txn tv.lock l1 tv.uid;
         v
 
 let write (txn : txn) tv v =
@@ -282,8 +306,10 @@ let commit (txn : txn) =
        to be seen, so abort. *)
     if txn.must_validate then
       for i = 0 to txn.rn - 1 do
-        if Atomic.get txn.r_locks.(i) <> txn.r_words.(i) then
+        if Atomic.get txn.r_locks.(i) <> txn.r_words.(i) then begin
+          txn.conflict_uid <- txn.r_uids.(i);
           raise (Abort Read_invalid)
+        end
       done;
     txn.stamp <- txn.rv;
     run_defers txn
@@ -293,6 +319,7 @@ let commit (txn : txn) =
     Atomic.set flag true;
     if serial_active () then begin
       Atomic.set flag false;
+      txn.conflict_uid <- -1;
       raise (Abort Serial_pending)
     end;
     (* Lock the write set; abort immediately on any busy lock (no spinning,
@@ -305,6 +332,7 @@ let commit (txn : txn) =
         then begin
           unlock_first_n txn i;
           Atomic.set flag false;
+          txn.conflict_uid <- e.tv.uid;
           raise (Abort Lock_busy)
         end;
         lock_from (i + 1)
@@ -325,6 +353,7 @@ let commit (txn : txn) =
           if not ok then begin
             unlock_first_n txn txn.wn;
             Atomic.set flag false;
+            txn.conflict_uid <- txn.r_uids.(i);
             raise (Abort Read_invalid)
           end;
           validate (i + 1)
@@ -408,11 +437,18 @@ let rec sample_rv () =
   let rv = Gclock.sample () in
   if serial_active () then sample_rv () else rv
 
-let atomic_stamped ?max_attempts f =
+let cause_label = function
+  | Read_invalid -> "read_invalid"
+  | Lock_busy -> "lock_busy"
+  | Serial_pending -> "serial_pending"
+  | User_retry -> "user_retry"
+
+let atomic_stamped ?site ?max_attempts f =
   let st = Thread.state () in
   let txn = st.txn in
   if txn.active then
-    (* Flat nesting: run inside the enclosing transaction. *)
+    (* Flat nesting: run inside the enclosing transaction. The enclosing
+       atomic's site label stays in force for attribution. *)
     let v = f txn in
     { value = v; stamp = txn.stamp; read_only = txn.read_only;
       attempts = 0; serial = txn.serial }
@@ -421,20 +457,36 @@ let atomic_stamped ?max_attempts f =
       match max_attempts with Some n -> n | None -> default_max_attempts ()
     in
     let stats = st.t_stats in
+    (* Sample the switch once per operation: a concurrent toggle mid-run
+       costs at worst one mis-attributed operation, and the hot path pays a
+       single immutable-bool test per attempt instead of an Atomic.get. *)
+    let tele = Telemetry.enabled () in
+    let slot = st.t_slot in
+    if tele then
+      txn.site <- (match site with Some s -> s | None -> no_site);
+    let op_start = if tele then Telemetry.now_ns () else 0 in
     Backoff.reset st.backoff;
     let rec attempt n total =
       if n >= max_attempts then begin
-        stats.fallbacks <- stats.fallbacks + 1;
-        stats.started <- stats.started + 1;
+        Stats.incr_fallbacks stats;
+        Stats.incr_started stats;
+        let t0 = if tele then Telemetry.now_ns () else 0 in
         let v = serial_run st f in
-        stats.commits <- stats.commits + 1;
+        Stats.incr_commits stats;
+        if tele then begin
+          let now = Telemetry.now_ns () in
+          Telemetry.Histogram.record slot.serial (now - t0);
+          Telemetry.Histogram.record slot.attempts (now - t0);
+          Telemetry.Histogram.record slot.ops (now - op_start)
+        end;
         { value = v; stamp = txn.stamp; read_only = txn.read_only;
           attempts = total + 1; serial = true }
       end
       else begin
         txn.rv <- sample_rv ();
         txn.active <- true;
-        stats.started <- stats.started + 1;
+        Stats.incr_started stats;
+        let t0 = if tele then Telemetry.now_ns () else 0 in
         match
           let v = f txn in
           commit txn;
@@ -444,25 +496,37 @@ let atomic_stamped ?max_attempts f =
             txn.active <- false;
             let read_only = txn.read_only in
             reset_logs txn;
-            stats.commits <- stats.commits + 1;
+            Stats.incr_commits stats;
+            if tele then begin
+              let now = Telemetry.now_ns () in
+              Telemetry.Histogram.record slot.attempts (now - t0);
+              Telemetry.Histogram.record slot.ops (now - op_start)
+            end;
             { value = v; stamp = txn.stamp; read_only;
               attempts = total + 1; serial = false }
         | exception Abort cause ->
             txn.active <- false;
             reset_logs txn;
+            if tele then begin
+              Telemetry.Histogram.record slot.attempts
+                (Telemetry.now_ns () - t0);
+              Telemetry.Attribution.record slot.attr ~site:txn.site
+                ~cause:(cause_label cause) ~uid:txn.conflict_uid
+            end;
+            txn.conflict_uid <- -1;
             let next =
               match cause with
               | Read_invalid ->
-                  stats.aborts_read <- stats.aborts_read + 1;
+                  Stats.incr_aborts_read stats;
                   n + 1
               | Lock_busy ->
-                  stats.aborts_lock <- stats.aborts_lock + 1;
+                  Stats.incr_aborts_lock stats;
                   n + 1
               | Serial_pending ->
-                  stats.aborts_serial <- stats.aborts_serial + 1;
+                  Stats.incr_aborts_serial stats;
                   n + 1
               | User_retry ->
-                  stats.aborts_user <- stats.aborts_user + 1;
+                  Stats.incr_aborts_user stats;
                   (* Explicit retries wait for state to change; they do not
                      escalate to the (irrevocable) serial mode. *)
                   n
@@ -478,7 +542,7 @@ let atomic_stamped ?max_attempts f =
     attempt 0 0
   end
 
-let atomic ?max_attempts f = (atomic_stamped ?max_attempts f).value
+let atomic ?site ?max_attempts f = (atomic_stamped ?site ?max_attempts f).value
 
 let current_txn () =
   match Domain.DLS.get Thread.dls_key with

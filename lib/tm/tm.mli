@@ -123,14 +123,20 @@ type 'a result = {
   serial : bool;  (** whether the committing attempt ran in serial mode *)
 }
 
-val atomic : ?max_attempts:int -> (txn -> 'a) -> 'a
+val atomic : ?site:string -> ?max_attempts:int -> (txn -> 'a) -> 'a
 (** [atomic f] runs [f] as a transaction, retrying on conflicts with
     randomized exponential backoff. After [max_attempts] conflict aborts
     (default {!default_max_attempts}), the transaction is re-run under the
     global serial token and cannot abort. Nested calls are flattened into
-    the enclosing transaction. *)
+    the enclosing transaction.
 
-val atomic_stamped : ?max_attempts:int -> (txn -> 'a) -> 'a result
+    [site] labels this call site for telemetry: when {!Telemetry.enabled}
+    is on, every abort is attributed to [(site, cause, conflicting tvar)]
+    in the calling thread's {!Telemetry.Attribution} table. Pass a static
+    string (e.g. ["slist.insert"]); when omitted the aborts are pooled
+    under ["?"]. Ignored (beyond the enclosing label) for nested calls. *)
+
+val atomic_stamped : ?site:string -> ?max_attempts:int -> (txn -> 'a) -> 'a result
 (** Like {!atomic} but also reports the commit stamp and attempt counts. *)
 
 val default_max_attempts : unit -> int

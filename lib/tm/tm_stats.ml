@@ -1,59 +1,1 @@
-type t = {
-  mutable started : int;
-  mutable commits : int;
-  mutable aborts_read : int;
-  mutable aborts_lock : int;
-  mutable aborts_serial : int;
-  mutable aborts_user : int;
-  mutable fallbacks : int;
-}
-
-let create () =
-  {
-    started = 0;
-    commits = 0;
-    aborts_read = 0;
-    aborts_lock = 0;
-    aborts_serial = 0;
-    aborts_user = 0;
-    fallbacks = 0;
-  }
-
-let reset t =
-  t.started <- 0;
-  t.commits <- 0;
-  t.aborts_read <- 0;
-  t.aborts_lock <- 0;
-  t.aborts_serial <- 0;
-  t.aborts_user <- 0;
-  t.fallbacks <- 0
-
-let add acc x =
-  acc.started <- acc.started + x.started;
-  acc.commits <- acc.commits + x.commits;
-  acc.aborts_read <- acc.aborts_read + x.aborts_read;
-  acc.aborts_lock <- acc.aborts_lock + x.aborts_lock;
-  acc.aborts_serial <- acc.aborts_serial + x.aborts_serial;
-  acc.aborts_user <- acc.aborts_user + x.aborts_user;
-  acc.fallbacks <- acc.fallbacks + x.fallbacks
-
-let total_aborts t =
-  t.aborts_read + t.aborts_lock + t.aborts_serial + t.aborts_user
-
-let copy t =
-  {
-    started = t.started;
-    commits = t.commits;
-    aborts_read = t.aborts_read;
-    aborts_lock = t.aborts_lock;
-    aborts_serial = t.aborts_serial;
-    aborts_user = t.aborts_user;
-    fallbacks = t.fallbacks;
-  }
-
-let pp ppf t =
-  Format.fprintf ppf
-    "started=%d commits=%d aborts(read=%d lock=%d serial=%d user=%d) \
-     fallbacks=%d"
-    t.started t.commits t.aborts_read t.aborts_lock t.aborts_serial
-    t.aborts_user t.fallbacks
+include Telemetry.Counters

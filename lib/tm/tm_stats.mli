@@ -1,25 +1,10 @@
 (** Per-thread transaction statistics.
 
-    Counters are plain mutable fields: each record is written by exactly one
-    thread and only read by others after the worker threads have joined, so
-    no synchronization is needed on the hot path. *)
+    Since the telemetry redesign this is an alias for
+    {!Telemetry.Counters}: an abstract counter record updated through
+    [incr_*] bumpers and read through named accessors, with [to_json] for
+    machine-readable export. Each record is written by exactly one thread
+    and only read by others after the worker threads have joined, so no
+    synchronization is needed on the hot path. *)
 
-type t = {
-  mutable started : int;  (** transaction attempts begun *)
-  mutable commits : int;  (** attempts that committed *)
-  mutable aborts_read : int;  (** read-validation failures (opacity) *)
-  mutable aborts_lock : int;  (** lock-busy at read or commit time *)
-  mutable aborts_serial : int;  (** backed off for a serial transaction *)
-  mutable aborts_user : int;  (** explicit {!Tm.retry} *)
-  mutable fallbacks : int;  (** operations that ran in serial mode *)
-}
-
-val create : unit -> t
-val reset : t -> unit
-
-val add : t -> t -> unit
-(** [add acc x] accumulates [x] into [acc]. *)
-
-val total_aborts : t -> int
-val copy : t -> t
-val pp : Format.formatter -> t -> unit
+include module type of Telemetry.Counters with type t = Telemetry.Counters.t
