@@ -6,6 +6,10 @@
    runs on — but the comparative shape is the reproduction target. *)
 
 open Harness
+module Spec = Factories.Spec
+
+(* Every curve is a [Spec.t]; [build] instantiates a fresh handle. *)
+let build spec = (Factories.make spec).Factories.make ()
 
 type mode_params = {
   quick : bool;
@@ -76,35 +80,25 @@ let rr_list_curves ~window_of =
   List.map
     (fun (name, kind) ->
       curve name (fun ~threads ->
-          (Factories.slist ~window:(window_of ~threads) kind).Factories.make ()))
+          build (Spec.v ~window:(window_of ~threads) Spec.Slist kind)))
     Factories.rr_kinds
 
-let slist_curve ?strategy kind ~window_of =
+let struct_curve ?strategy ?split_unlink structure kind ~window_of =
   curve
     (Structs.Mode.kind_name kind)
     (fun ~threads ->
-      (Factories.slist ?strategy ~window:(window_of ~threads) kind)
-        .Factories.make ())
+      build
+        (Spec.v ?strategy ?split_unlink ~window:(window_of ~threads) structure
+           kind))
+
+let slist_curve ?strategy kind ~window_of =
+  struct_curve ?strategy Spec.Slist kind ~window_of
 
 let dlist_curve ?strategy ?split_unlink kind ~window_of =
-  curve
-    (Structs.Mode.kind_name kind)
-    (fun ~threads ->
-      (Factories.dlist ?strategy ?split_unlink
-         ~window:(window_of ~threads) kind)
-        .Factories.make ())
+  struct_curve ?strategy ?split_unlink Spec.Dlist kind ~window_of
 
-let bst_int_curve kind ~window_of =
-  curve
-    (Structs.Mode.kind_name kind)
-    (fun ~threads ->
-      (Factories.bst_int ~window:(window_of ~threads) kind).Factories.make ())
-
-let bst_ext_curve kind ~window_of =
-  curve
-    (Structs.Mode.kind_name kind)
-    (fun ~threads ->
-      (Factories.bst_ext ~window:(window_of ~threads) kind).Factories.make ())
+let bst_int_curve kind ~window_of = struct_curve Spec.Bst_int kind ~window_of
+let bst_ext_curve kind ~window_of = struct_curve Spec.Bst_ext kind ~window_of
 
 (* ---- Figure 2: singly linked list ---- *)
 
@@ -159,8 +153,8 @@ let figure_3 p =
             @ List.map
                 (fun (name, kind) ->
                   curve name (fun ~threads ->
-                      (Factories.dlist ~window:(list_window ~threads) kind)
-                        .Factories.make ()))
+                      build
+                        (Spec.v ~window:(list_window ~threads) Spec.Dlist kind)))
                 Factories.rr_kinds
             @ [ dlist_curve Structs.Mode.Tmhp ~window_of:list_window ]
           in
@@ -185,7 +179,7 @@ let figure_4 p =
             let points =
               List.map
                 (fun w ->
-                  let h = (Factories.slist ~window:w kind).Factories.make () in
+                  let h = build (Spec.v ~window:w Spec.Slist kind) in
                   let spec =
                     Workload.spec ~key_bits:10 ~lookup_pct:33 ~threads
                       ~ops_per_thread:ops ()
@@ -230,14 +224,13 @@ let figure_5 p =
           (fun (prefix, strategy) ->
             [
               curve (prefix ^ "TMHP") (fun ~threads ->
-                  (Factories.dlist ~strategy
-                     ~window:(list_window ~threads) Structs.Mode.Tmhp)
-                    .Factories.make ());
+                  build
+                    (Spec.v ~strategy ~window:(list_window ~threads) Spec.Dlist
+                       Structs.Mode.Tmhp));
               curve (prefix ^ "RR-XO") (fun ~threads ->
-                  (Factories.dlist ~strategy
-                     ~window:(list_window ~threads)
-                     (Structs.Mode.Rr_kind (module Rr.Xo)))
-                    .Factories.make ());
+                  build
+                    (Spec.v ~strategy ~window:(list_window ~threads) Spec.Dlist
+                       (Structs.Mode.Rr_kind (module Rr.Xo))));
             ])
           strategies
       in
@@ -268,8 +261,9 @@ let figure_6 p =
             @ List.map
                 (fun (name, kind) ->
                   curve name (fun ~threads ->
-                      (Factories.bst_int ~window:(tree_window ~threads) kind)
-                        .Factories.make ()))
+                      build
+                        (Spec.v ~window:(tree_window ~threads) Spec.Bst_int
+                           kind)))
                 Factories.rr_kinds
           in
           run_panel p
@@ -297,8 +291,7 @@ let figure_7 p =
     @ List.map
         (fun (name, kind) ->
           curve name (fun ~threads ->
-              (Factories.bst_ext ~window:(tree_window ~threads) kind)
-                .Factories.make ()))
+              build (Spec.v ~window:(tree_window ~threads) Spec.Bst_ext kind)))
         Factories.rr_kinds
   in
   run_panel p
@@ -321,21 +314,19 @@ let reclaim_bench p =
         let h : Set_ops.handle = make () in
         let r = Driver.run ~verify:p.verify spec h in
         (label, r))
-      [
-        ( "RR-V",
-          fun () ->
-            (Factories.slist ~window:8 (Structs.Mode.Rr_kind (module Rr.V)))
-              .Factories.make () );
-        ( "RR-XO",
-          fun () ->
-            (Factories.slist ~window:8 (Structs.Mode.Rr_kind (module Rr.Xo)))
-              .Factories.make () );
-        ("TMHP", fun () -> (Factories.slist ~window:8 Structs.Mode.Tmhp).Factories.make ());
-        ("EBR", fun () -> (Factories.slist ~window:8 Structs.Mode.Ebr).Factories.make ());
-        ("REF", fun () -> (Factories.slist ~window:8 Structs.Mode.Ref).Factories.make ());
-        ("LFHP", fun () -> (Factories.lf_list `Hp).Factories.make ());
-        ("LFLeak", fun () -> (Factories.lf_list `Leak).Factories.make ());
-      ]
+      (([
+          ("RR-V", Structs.Mode.Rr_kind (module Rr.V));
+          ("RR-XO", Structs.Mode.Rr_kind (module Rr.Xo));
+          ("TMHP", Structs.Mode.Tmhp);
+          ("EBR", Structs.Mode.Ebr);
+          ("REF", Structs.Mode.Ref);
+        ]
+       |> List.map (fun (label, kind) ->
+              (label, fun () -> build (Spec.v ~window:8 Spec.Slist kind))))
+      @ [
+          ("LFHP", fun () -> (Factories.lf_list `Hp).Factories.make ());
+          ("LFLeak", fun () -> (Factories.lf_list `Leak).Factories.make ());
+        ])
   in
   Printf.printf "\n== Reclamation footprint (singly linked list, %d threads) ==\n"
     threads;
@@ -368,9 +359,9 @@ let ablation_bench p =
   List.iter
     (fun scatter ->
       let h =
-        (Factories.slist ~window:8 ~scatter
-           (Structs.Mode.Rr_kind (module Rr.Xo)))
-          .Factories.make ()
+        build
+          (Spec.v ~window:8 ~scatter Spec.Slist
+             (Structs.Mode.Rr_kind (module Rr.Xo)))
       in
       Printf.printf "slist RR-XO scatter=%-5b          %12.0f ops/s\n" scatter
         (throughput h))
@@ -379,9 +370,9 @@ let ablation_bench p =
   List.iter
     (fun split ->
       let h =
-        (Factories.dlist ~window:8 ~split_unlink:split
-           (Structs.Mode.Rr_kind (module Rr.Fa)))
-          .Factories.make ()
+        build
+          (Spec.v ~window:8 ~split_unlink:split Spec.Dlist
+             (Structs.Mode.Rr_kind (module Rr.Fa)))
       in
       Printf.printf "dlist RR-FA split_unlink=%-5b     %12.0f ops/s\n" split
         (throughput h))
@@ -391,9 +382,9 @@ let ablation_bench p =
     (fun eager ->
       let rr_config = { Rr.Config.default with dm_eager_unlink = eager } in
       let h =
-        (Factories.slist ~window:8 ~rr_config
-           (Structs.Mode.Rr_kind (module Rr.Dm)))
-          .Factories.make ()
+        build
+          (Spec.v ~window:8 ~rr_config Spec.Slist
+             (Structs.Mode.Rr_kind (module Rr.Dm)))
       in
       Printf.printf "slist RR-DM eager_unlink=%-5b     %12.0f ops/s\n" eager
         (throughput h))
@@ -401,9 +392,7 @@ let ablation_bench p =
   (* hash set extension (paper Sec. 6): reservations across bucket chains *)
   List.iter
     (fun (label, kind) ->
-      let h =
-        (Factories.hashset ~buckets:16 ~window:8 kind).Factories.make ()
-      in
+      let h = build (Spec.v ~buckets:16 ~window:8 Spec.Hashset kind) in
       Printf.printf "hashset %-24s %12.0f ops/s\n" label (throughput h))
     [
       ("RR-V", Structs.Mode.Rr_kind (module Rr.V));
@@ -415,10 +404,7 @@ let ablation_bench p =
   (* serial-fallback threshold (the GCC retry knob) *)
   List.iter
     (fun attempts ->
-      let h =
-        (Factories.slist ~max_attempts:attempts Structs.Mode.Htm)
-          .Factories.make ()
-      in
+      let h = build (Spec.v ~max_attempts:attempts Spec.Slist Structs.Mode.Htm) in
       Printf.printf "slist HTM max_attempts=%-2d         %12.0f ops/s\n"
         attempts (throughput h))
     [ 1; 2; 4; 8; 16 ];

@@ -1,0 +1,246 @@
+(* Thread-sweep scalability baseline (`main.exe scaling`).
+
+   The paper's whole argument is that hand-over-hand transactions scale
+   where single-transaction traversals do not (Figs. 2-7), so the repo
+   needs a reproducible perf trajectory: one sweep over 1..N domains x
+   {slist, bst-int, skiplist} x the RR variants x lookup mixes, written to
+   [BENCH_scaling.json] under the [hohtx-bench/1] schema so successive
+   builds can be diffed mechanically. `main.exe scaling-smoke` (the
+   @bench-smoke dune alias) runs a 2-thread miniature of the same sweep
+   and validates the emitted file against the schema. *)
+
+open Harness
+module Spec = Factories.Spec
+module Json = Telemetry.Json
+
+let schema = "hohtx-bench/1"
+let default_out = "BENCH_scaling.json"
+
+type params = {
+  quick : bool;
+  verify : bool;
+  threads_list : int list;
+  json_stdout : bool;  (** also print the report to stdout *)
+  out : string;  (** path of the emitted JSON file *)
+}
+
+(* One swept configuration: a structure/kind/mix triple; the thread count
+   varies along the curve. Key ranges are sized so the default prefill
+   (50%) yields structures long/deep enough for multi-window traversals. *)
+type config = {
+  structure : Spec.structure;
+  kind : Structs.Mode.kind;
+  lookup_pct : int;
+  key_bits : int;
+}
+
+let structure_key_bits = function
+  | Spec.Slist | Spec.Dlist -> 8
+  | Spec.Bst_int | Spec.Bst_ext -> 12
+  | Spec.Skiplist -> 10
+  | Spec.Hashset -> 10
+
+let sweep_configs ~structures ~kinds ~mixes =
+  List.concat_map
+    (fun structure ->
+      List.concat_map
+        (fun (_, kind) ->
+          List.map
+            (fun lookup_pct ->
+              {
+                structure;
+                kind;
+                lookup_pct;
+                key_bits = structure_key_bits structure;
+              })
+            mixes)
+        kinds)
+    structures
+
+let run_point p (c : config) ~ops_per_thread ~threads =
+  let window = Factories.best_window ~threads in
+  let handle =
+    (Factories.make (Spec.v ~window c.structure c.kind)).Factories.make ()
+  in
+  let spec =
+    Workload.spec ~key_bits:c.key_bits ~lookup_pct:c.lookup_pct ~threads
+      ~ops_per_thread ()
+  in
+  let r = Driver.run ~verify:p.verify spec handle in
+  (match r.Driver.verdict with
+  | Ok () -> ()
+  | Error e ->
+      Printf.eprintf "!! scaling [%s %s %d%%]: %s\n%!"
+        (Spec.structure_name c.structure)
+        (Structs.Mode.kind_name c.kind)
+        c.lookup_pct e);
+  let tm = r.Driver.tm in
+  Json.Obj
+    [
+      ("threads", Json.Int threads);
+      ("window", Json.Int window);
+      ("throughput", Json.Float r.Driver.throughput);
+      ("elapsed_s", Json.Float r.Driver.elapsed_s);
+      ("total_ops", Json.Int r.Driver.total_ops);
+      ("started", Json.Int (Tm.Stats.started tm));
+      ("aborts", Json.Int (Tm.Stats.total_aborts tm));
+      ("abort_rate", Json.Float (Driver.abort_rate r));
+      ("fallbacks", Json.Int (Tm.Stats.fallbacks tm));
+      ("verified", Json.Bool (r.Driver.verdict = Ok ()));
+    ]
+
+let run_config p c ~ops_per_thread =
+  let points =
+    List.map
+      (fun threads -> run_point p c ~ops_per_thread ~threads)
+      p.threads_list
+  in
+  Printf.printf "%-9s %-6s %3d%% lookups :%s\n%!"
+    (Spec.structure_name c.structure)
+    (Structs.Mode.kind_name c.kind)
+    c.lookup_pct
+    (String.concat ""
+       (List.map2
+          (fun threads pt ->
+            let tput =
+              match Json.member "throughput" pt with
+              | Some (Json.Float f) -> f
+              | _ -> 0.
+            in
+            Printf.sprintf "  %dT %.0f/s" threads tput)
+          p.threads_list points));
+  Json.Obj
+    [
+      ("structure", Json.String (Spec.structure_name c.structure));
+      ("kind", Json.String (Structs.Mode.kind_name c.kind));
+      ("lookup_pct", Json.Int c.lookup_pct);
+      ("key_bits", Json.Int c.key_bits);
+      ("ops_per_thread", Json.Int ops_per_thread);
+      ("points", Json.List points);
+    ]
+
+let report p ~mode ~configs ~ops_per_thread =
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("bench", Json.String "scaling");
+      ("mode", Json.String mode);
+      ( "threads",
+        Json.List (List.map (fun t -> Json.Int t) p.threads_list) );
+      ( "configs",
+        Json.List (List.map (run_config p ~ops_per_thread) configs) );
+    ]
+
+let write_report ~out js =
+  let oc = open_out out in
+  output_string oc (Json.to_string js);
+  output_char oc '\n';
+  close_out oc
+
+(* ---- schema validation (used by the smoke alias and tests) ---- *)
+
+let validate js =
+  let ( let* ) = Result.bind in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let field name conv o =
+    match Option.bind (Json.member name o) conv with
+    | Some v -> Ok v
+    | None -> err "missing or ill-typed field %S" name
+  in
+  let* s = field "schema" Json.to_string_opt js in
+  let* () = if s = schema then Ok () else err "schema %S, wanted %S" s schema in
+  let* _ = field "bench" Json.to_string_opt js in
+  let* _ = field "mode" Json.to_string_opt js in
+  let* configs = field "configs" Json.to_list js in
+  let* () = if configs = [] then err "empty configs" else Ok () in
+  List.fold_left
+    (fun acc c ->
+      let* () = acc in
+      let* _ = field "structure" Json.to_string_opt c in
+      let* _ = field "kind" Json.to_string_opt c in
+      let* _ = field "lookup_pct" Json.to_int c in
+      let* _ = field "key_bits" Json.to_int c in
+      let* _ = field "ops_per_thread" Json.to_int c in
+      let* points = field "points" Json.to_list c in
+      let* () = if points = [] then err "config with no points" else Ok () in
+      List.fold_left
+        (fun acc pt ->
+          let* () = acc in
+          let* threads = field "threads" Json.to_int pt in
+          let* () = if threads >= 1 then Ok () else err "threads < 1" in
+          let* tput = field "throughput" Json.to_float pt in
+          let* () = if tput > 0. then Ok () else err "throughput <= 0" in
+          let* rate = field "abort_rate" Json.to_float pt in
+          let* () =
+            if rate >= 0. then Ok () else err "negative abort_rate"
+          in
+          let* _ = field "aborts" Json.to_int pt in
+          let* _ = field "fallbacks" Json.to_int pt in
+          Ok ())
+        (Ok ()) points)
+    (Ok ()) configs
+
+(* ---- entry points ---- *)
+
+let run p =
+  let ops_per_thread = if p.quick then 2_000 else 20_000 in
+  let configs =
+    sweep_configs
+      ~structures:[ Spec.Slist; Spec.Bst_int; Spec.Skiplist ]
+      ~kinds:Factories.rr_kinds ~mixes:[ 33; 80 ]
+  in
+  Printf.printf
+    "scaling sweep: %d configs x threads {%s}, %d ops/thread -> %s\n%!"
+    (List.length configs)
+    (String.concat "," (List.map string_of_int p.threads_list))
+    ops_per_thread p.out;
+  let js =
+    report p
+      ~mode:(if p.quick then "quick" else "full")
+      ~configs ~ops_per_thread
+  in
+  write_report ~out:p.out js;
+  if p.json_stdout then print_endline (Json.to_string js);
+  Printf.printf "wrote %s\n%!" p.out
+
+let smoke () =
+  let p =
+    {
+      quick = true;
+      verify = true;
+      threads_list = [ 1; 2 ];
+      json_stdout = false;
+      out = default_out;
+    }
+  in
+  let configs =
+    sweep_configs ~structures:[ Spec.Slist ]
+      ~kinds:
+        [
+          ("RR-V", Structs.Mode.Rr_kind (module Rr.V));
+          ("RR-XO", Structs.Mode.Rr_kind (module Rr.Xo));
+        ]
+      ~mixes:[ 33 ]
+  in
+  let js = report p ~mode:"smoke" ~configs ~ops_per_thread:300 in
+  write_report ~out:p.out js;
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        prerr_endline ("bench-smoke: " ^ m);
+        exit 1)
+      fmt
+  in
+  let ic = open_in p.out in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  (match Json.of_string text with
+  | Error e -> fail "emitted JSON does not parse: %s" e
+  | Ok parsed -> (
+      if not (Json.equal parsed js) then
+        fail "JSON round-trip changed the value";
+      match validate parsed with
+      | Error e -> fail "schema validation failed: %s" e
+      | Ok () -> ()));
+  Printf.printf "bench-smoke OK: %s validates against %s\n" p.out schema

@@ -20,15 +20,22 @@ let usage () =
     \  telemetry      contended run with telemetry on; report as table,\n\
     \                 or as JSON with --json\n\
     \  telemetry-smoke  micro + contended run under telemetry; validate\n\
-    \                 the emitted JSON schema (used by @telemetry-smoke)\n\n\
+    \                 the emitted JSON schema (used by @telemetry-smoke)\n\
+    \  scaling        thread-sweep scalability baseline; writes\n\
+    \                 BENCH_scaling.json (schema hohtx-bench/1)\n\
+    \  scaling-smoke  tiny 2-thread sweep + schema validation of the\n\
+    \                 emitted file (used by @bench-smoke)\n\n\
      options:\n\
-    \  --json         emit the telemetry report as JSON (telemetry command)\n\
+    \  --json         emit the report as JSON on stdout too (telemetry,\n\
+    \                 scaling)\n\
     \  --full         paper-scale parameters (50k ops/thread, 21-bit trees)\n\
     \  --quick        reduced parameters (default)\n\
     \  --verify       run the serialization checker on every benchmark run\n\
     \  --aborts       also print abort-rate tables per panel\n\
     \  --threads LIST comma-separated thread counts (default 1,2,4,8)\n\
-    \  --csv DIR      also write CSV series under DIR\n"
+    \  --csv DIR      also write CSV series under DIR\n\
+    \  --out FILE     output path for the scaling report\n\
+    \                 (default BENCH_scaling.json)\n"
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -37,6 +44,7 @@ let () =
   let aborts = ref false in
   let json = ref false in
   let csv_dir = ref None in
+  let out = ref Bench_scaling.default_out in
   let threads = ref [ 1; 2; 4; 8 ] in
   let command = ref [] in
   let rec parse = function
@@ -58,6 +66,9 @@ let () =
         parse rest
     | "--csv" :: dir :: rest ->
         csv_dir := Some dir;
+        parse rest
+    | "--out" :: path :: rest ->
+        out := path;
         parse rest
     | "--threads" :: spec :: rest -> (
         match parse_threads spec with
@@ -117,6 +128,16 @@ let () =
       | [ "micro" ] -> Bench_micro.run ()
       | [ "telemetry" ] -> Bench_telemetry.run ~json:!json ()
       | [ "telemetry-smoke" ] -> Bench_telemetry.smoke ()
+      | [ "scaling" ] ->
+          Bench_scaling.run
+            {
+              Bench_scaling.quick = !quick;
+              verify = !verify;
+              threads_list = !threads;
+              json_stdout = !json;
+              out = !out;
+            }
+      | [ "scaling-smoke" ] -> Bench_scaling.smoke ()
       | _ ->
           usage ();
           exit 2)

@@ -13,13 +13,16 @@ open Harness
 let spec =
   Workload.spec ~key_bits:7 ~lookup_pct:10 ~threads:4 ~ops_per_thread:8_000 ()
 
+let slist kind =
+  Factories.make (Factories.Spec.v ~window:8 Factories.Spec.Slist kind)
+
 let contenders =
   [
-    Factories.slist ~window:8 (Structs.Mode.Rr_kind (module Rr.V));
-    Factories.slist ~window:8 (Structs.Mode.Rr_kind (module Rr.Fa));
-    Factories.slist ~window:8 Structs.Mode.Tmhp;
-    Factories.slist ~window:8 Structs.Mode.Ebr;
-    Factories.slist ~window:8 Structs.Mode.Ref;
+    slist (Structs.Mode.Rr_kind (module Rr.V));
+    slist (Structs.Mode.Rr_kind (module Rr.Fa));
+    slist Structs.Mode.Tmhp;
+    slist Structs.Mode.Ebr;
+    slist Structs.Mode.Ref;
     Factories.lf_list `Hp;
     Factories.lf_list `Leak;
   ]

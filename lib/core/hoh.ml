@@ -2,7 +2,7 @@ type ('r, 'a) outcome = Finish of 'a | Hand_off of 'r
 
 let run ~rr ?site ?max_attempts step =
   let reserved = ref None in
-  let rec loop last =
+  let rec loop () =
     let res =
       Tm.atomic_stamped ?site ?max_attempts (fun txn ->
           rr.Rr_intf.register txn;
@@ -20,16 +20,15 @@ let run ~rr ?site ?max_attempts step =
               rr.Rr_intf.reserve txn r;
               Hand_off r)
     in
-    ignore last;
     match res.Tm.value with
     | Finish v ->
         reserved := None;
         (v, res.Tm.stamp)
     | Hand_off r ->
         reserved := Some r;
-        loop res.Tm.stamp
+        loop ()
   in
-  loop 0
+  loop ()
 
 let apply ~rr ?site ?max_attempts step = fst (run ~rr ?site ?max_attempts step)
 let apply_stamped ~rr ?site ?max_attempts step = run ~rr ?site ?max_attempts step

@@ -87,9 +87,11 @@ let run ?(verify = true) spec handle =
         Domain.spawn (worker ~spec ~handle ~verify ~barrier d))
   in
   barrier_wait barrier;
-  let t0 = Unix.gettimeofday () in
+  (* Monotonic, not wall, time: an NTP step mid-run would corrupt the
+     throughput denominator. *)
+  let t0 = Telemetry.now_ns () in
   let outs = List.map Domain.join domains in
-  let elapsed = Unix.gettimeofday () -. t0 in
+  let elapsed = float_of_int (Telemetry.now_ns () - t0) /. 1e9 in
   handle.Set_ops.drain ();
   let total_ops = spec.Workload.threads * spec.Workload.ops_per_thread in
   let tm = Tm.Stats.create () in

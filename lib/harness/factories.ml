@@ -90,40 +90,6 @@ let make (s : Spec.t) =
   in
   { label = Spec.label s; make = build }
 
-(* Deprecated per-structure wrappers, kept so external callers keep
-   compiling; new code should build a [Spec.t] and call [make]. *)
-
-let slist ?window ?scatter ?strategy ?rr_config ?max_attempts kind =
-  make
-    (Spec.v ?window ?scatter ?strategy ?rr_config ?max_attempts Spec.Slist
-       kind)
-
-let dlist ?window ?scatter ?strategy ?rr_config ?max_attempts ?split_unlink
-    kind =
-  make
-    (Spec.v ?window ?scatter ?strategy ?rr_config ?max_attempts ?split_unlink
-       Spec.Dlist kind)
-
-let bst_int ?window ?scatter ?strategy ?rr_config ?max_attempts kind =
-  make
-    (Spec.v ?window ?scatter ?strategy ?rr_config ?max_attempts Spec.Bst_int
-       kind)
-
-let bst_ext ?window ?scatter ?strategy ?rr_config ?max_attempts kind =
-  make
-    (Spec.v ?window ?scatter ?strategy ?rr_config ?max_attempts Spec.Bst_ext
-       kind)
-
-let hashset ?buckets ?window ?scatter ?strategy ?rr_config ?max_attempts kind =
-  make
-    (Spec.v ?window ?scatter ?strategy ?rr_config ?max_attempts ?buckets
-       Spec.Hashset kind)
-
-let skiplist ?window ?scatter ?strategy ?rr_config ?max_attempts kind =
-  make
-    (Spec.v ?window ?scatter ?strategy ?rr_config ?max_attempts Spec.Skiplist
-       kind)
-
 let lf_list reclaim =
   {
     label = (match reclaim with `Leak -> "LFLeak" | `Hp -> "LFHP");

@@ -54,72 +54,6 @@ val make : Spec.t -> factory
 (** Instantiate a specification. The handle is built afresh on each
     [factory.make] call, so one spec can drive repeated runs. *)
 
-(** The historical per-structure constructors. Each is [make] composed with
-    {!Spec.v} and is kept only for source compatibility; new code should
-    use {!Spec}. *)
-
-val slist :
-  ?window:int ->
-  ?scatter:bool ->
-  ?strategy:Mempool.strategy ->
-  ?rr_config:Rr.Config.t ->
-  ?max_attempts:int ->
-  Structs.Mode.kind ->
-  factory
-(** @deprecated Use [make (Spec.v Spec.Slist kind)]. *)
-
-val dlist :
-  ?window:int ->
-  ?scatter:bool ->
-  ?strategy:Mempool.strategy ->
-  ?rr_config:Rr.Config.t ->
-  ?max_attempts:int ->
-  ?split_unlink:bool ->
-  Structs.Mode.kind ->
-  factory
-(** @deprecated Use [make (Spec.v Spec.Dlist kind)]. *)
-
-val bst_int :
-  ?window:int ->
-  ?scatter:bool ->
-  ?strategy:Mempool.strategy ->
-  ?rr_config:Rr.Config.t ->
-  ?max_attempts:int ->
-  Structs.Mode.kind ->
-  factory
-(** @deprecated Use [make (Spec.v Spec.Bst_int kind)]. *)
-
-val bst_ext :
-  ?window:int ->
-  ?scatter:bool ->
-  ?strategy:Mempool.strategy ->
-  ?rr_config:Rr.Config.t ->
-  ?max_attempts:int ->
-  Structs.Mode.kind ->
-  factory
-(** @deprecated Use [make (Spec.v Spec.Bst_ext kind)]. *)
-
-val hashset :
-  ?buckets:int ->
-  ?window:int ->
-  ?scatter:bool ->
-  ?strategy:Mempool.strategy ->
-  ?rr_config:Rr.Config.t ->
-  ?max_attempts:int ->
-  Structs.Mode.kind ->
-  factory
-(** @deprecated Use [make (Spec.v ?buckets Spec.Hashset kind)]. *)
-
-val skiplist :
-  ?window:int ->
-  ?scatter:bool ->
-  ?strategy:Mempool.strategy ->
-  ?rr_config:Rr.Config.t ->
-  ?max_attempts:int ->
-  Structs.Mode.kind ->
-  factory
-(** @deprecated Use [make (Spec.v Spec.Skiplist kind)]. *)
-
 val lf_list : [ `Leak | `Hp ] -> factory
 val nm_tree : unit -> factory
 

@@ -1,0 +1,23 @@
+(* Two cache lines (2 x 64 bytes / 8-byte words): padding a single line
+   still leaves neighbours exposed to adjacent-line prefetch pairing. *)
+let words = 16
+
+(* [Obj.new_block] initializes scannable fields to [()], so the filler
+   words are always valid values for the GC to scan. *)
+let pad_block src =
+  let sz = Obj.size src in
+  let dst = Obj.new_block (Obj.tag src) (max words sz) in
+  for i = 0 to sz - 1 do
+    Obj.set_field dst i (Obj.field src i)
+  done;
+  dst
+
+let atomic (v : 'a) : 'a Atomic.t =
+  (* An [Atomic.t] is a single-field block addressed by field index, so a
+     wider block behaves identically under the [%atomic_*] primitives. *)
+  (Obj.magic (pad_block (Obj.repr (Atomic.make v))) : 'a Atomic.t)
+
+let copy_as_padded (x : 'a) : 'a =
+  let o = Obj.repr x in
+  if Obj.is_int o || Obj.tag o >= Obj.no_scan_tag || Obj.size o >= words then x
+  else (Obj.magic (pad_block o) : 'a)

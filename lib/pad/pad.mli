@@ -1,0 +1,31 @@
+(** Manual cache-line isolation for contended heap objects.
+
+    OCaml 5.1 has no [Atomic.make_contended], and the minor heap's bump
+    allocator places successively allocated small blocks on the same cache
+    line. A per-thread flag array built with [Array.init n (fun _ ->
+    Atomic.make false)] therefore packs up to eight atomics per 64-byte
+    line, and every CAS or store by one thread invalidates the line under
+    all of its neighbours — classic false sharing, and exactly the pattern
+    on the TM's commit hot path.
+
+    The fix is the standard multicore-OCaml idiom (cf. [multicore-magic]'s
+    [copy_as_padded]): re-allocate the object as an over-sized block whose
+    trailing words are unused filler, so no two padded objects can share a
+    line. Atomic and record primitives address fields by index, so the
+    extra words are invisible to ordinary code; they are visible only to
+    structural equality/hashing/marshalling, which must not be applied to
+    padded values. *)
+
+val words : int
+(** Size, in words, of a padded block: two 64-byte cache lines, so that a
+    padded object also defeats adjacent-line prefetching. *)
+
+val atomic : 'a -> 'a Atomic.t
+(** [atomic v] is [Atomic.make v] isolated on its own cache lines. *)
+
+val copy_as_padded : 'a -> 'a
+(** [copy_as_padded x] returns a copy of the record or tuple [x] whose
+    block is padded to at least {!words} words. Returns [x] unchanged for
+    immediates and unscannable blocks (strings, float arrays). Do {b not}
+    apply to arrays — [Array.length] is derived from the block size — or
+    to values that are later compared or hashed structurally. *)

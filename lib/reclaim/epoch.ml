@@ -21,7 +21,7 @@ type 'a t = {
   max_backlog : int Atomic.t;
 }
 
-let now () = Unix.gettimeofday ()
+let now () = float_of_int (Telemetry.now_ns ()) /. 1e9
 
 let create ?(advance_threshold = 32) ~free () =
   if advance_threshold < 1 then invalid_arg "Epoch.create";

@@ -22,7 +22,7 @@ type 'a t = {
   max_backlog : int Atomic.t;
 }
 
-let now () = Unix.gettimeofday ()
+let now () = float_of_int (Telemetry.now_ns ()) /. 1e9
 
 let create ?(slots_per_thread = 3) ?(scan_threshold = 64) ~free ~node_id () =
   if slots_per_thread < 1 then invalid_arg "Hazard.create: slots_per_thread";

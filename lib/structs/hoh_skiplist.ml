@@ -60,15 +60,22 @@ let collect_preds txn t ~key preds =
   in
   walk t.head (Snode.max_level - 1)
 
-(* Validate and fast-forward the hint for level [l]: the hint must still be
-   alive (its key is then unchanged and below [key], and it still occupies
-   level [l]); newer inserts between hint and position are skipped by
-   walking forward within this transaction's snapshot. *)
+(* Validate and fast-forward the hint for level [l]. A hint recorded in an
+   earlier window is only usable if, in this transaction's snapshot, it is
+   still a live level-[l] node below [key]: checking [deleted] alone is not
+   enough, because a hint can be freed, recycled, and re-inserted elsewhere
+   — alive again, but with a new key and a new (possibly shorter) tower, so
+   walking level [l] from it would start outside the level-[l] list. Any
+   live node with [key' < key] and [level > l] is on the sorted level-[l]
+   list, so fast-forwarding from it is correct; newer inserts between hint
+   and position are skipped by walking forward within the snapshot. *)
 let fresh_pred txn t ~key ~preds l =
   let hint = preds.(l) in
   if
     (not (Snode.equal hint t.head))
-    && Tm.read txn hint.Snode.deleted
+    && (Tm.read txn hint.Snode.deleted
+       || Tm.read txn hint.Snode.key >= key
+       || Tm.read txn hint.Snode.level <= l)
   then raise Stale_hint;
   let rec go p =
     match Tm.read txn p.Snode.next.(l) with

@@ -1,0 +1,40 @@
+/* Monotonic nanosecond clock for telemetry timestamps.
+ *
+ * Unix.gettimeofday is wall time: it steps under NTP adjustment and, being
+ * a float of seconds, has ~200ns of representable resolution in 2026 —
+ * both fatal to nanosecond latency histograms. CLOCK_MONOTONIC never steps
+ * and the kernel serves it from the vDSO, so the call is a few ns.
+ *
+ * The value is returned as a tagged OCaml int: 62 bits of nanoseconds
+ * since an arbitrary epoch (boot) wrap after ~146 years of uptime.
+ */
+
+#include <caml/mlvalues.h>
+
+#if defined(_WIN32)
+
+#include <windows.h>
+
+CAMLprim value hohtx_monotonic_ns(value unit)
+{
+  static LARGE_INTEGER freq;
+  LARGE_INTEGER now;
+  if (freq.QuadPart == 0)
+    QueryPerformanceFrequency(&freq);
+  QueryPerformanceCounter(&now);
+  return Val_long((intnat)((double)now.QuadPart * 1e9 / (double)freq.QuadPart));
+}
+
+#else /* POSIX */
+
+#include <time.h>
+#include <stdint.h>
+
+CAMLprim value hohtx_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}
+
+#endif

@@ -18,13 +18,17 @@ type slot = {
   attr : Tel_attr.t;
 }
 
+(* Histograms bump four scalar fields on every record; the slots for
+   concurrently registered threads are allocated back-to-back, so without
+   padding two threads' hot counters share cache lines. *)
 let make_slot () =
-  {
-    attempts = Tel_hist.create ();
-    ops = Tel_hist.create ();
-    serial = Tel_hist.create ();
-    attr = Tel_attr.create ();
-  }
+  Pad.copy_as_padded
+    {
+      attempts = Pad.copy_as_padded (Tel_hist.create ());
+      ops = Pad.copy_as_padded (Tel_hist.create ());
+      serial = Pad.copy_as_padded (Tel_hist.create ());
+      attr = Tel_attr.create ();
+    }
 
 let slots : slot option array = Array.make max_threads None
 
@@ -50,4 +54,7 @@ let reset_slots () =
 let iter_slots f =
   Array.iter (function None -> () | Some s -> f s) slots
 
-let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+(* Monotonic nanoseconds (epoch: boot). [Unix.gettimeofday] is unusable
+   here: it steps under NTP and its float format quantizes to ~200ns, which
+   corrupts latency histograms whose p50 is a few hundred ns. *)
+external now_ns : unit -> int = "hohtx_monotonic_ns" [@@noalloc]

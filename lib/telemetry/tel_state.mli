@@ -29,4 +29,6 @@ val reset_slots : unit -> unit
 val iter_slots : (slot -> unit) -> unit
 
 val now_ns : unit -> int
-(** Wall-clock nanoseconds (microsecond-granular underneath). *)
+(** Monotonic nanoseconds ([clock_gettime(CLOCK_MONOTONIC)] underneath):
+    never steps, nanosecond-granular, epoch is arbitrary (boot) — only
+    differences are meaningful. *)

@@ -1,3 +1,5 @@
+type hint = Short | Normal | Long
+
 type t = {
   min_wait : int;
   max_wait : int;
@@ -17,11 +19,27 @@ let next_random b =
   b.seed <- s;
   s land max_int
 
-let once b =
-  let spins = b.min_wait + (next_random b mod b.cur) in
+let spin b n =
+  let spins = b.min_wait + (next_random b mod n) in
   for _ = 1 to spins do
     Domain.cpu_relax ()
-  done;
-  b.cur <- min b.max_wait (b.cur * 2)
+  done
+
+let once ?(hint = Normal) b =
+  match hint with
+  | Short ->
+      (* The contended lock is held only for the writeback of an already
+         validated commit, so it clears in nanoseconds: spin briefly and do
+         not escalate, or the thread sleeps through its retry window. *)
+      spin b (max 1 (b.cur / 4))
+  | Normal ->
+      spin b b.cur;
+      b.cur <- min b.max_wait (b.cur * 2)
+  | Long ->
+      (* A serial transaction owns the token for its whole (irrevocable)
+         run; retrying sooner only burns the bus. Wait a full doubled
+         period and escalate. *)
+      spin b (min b.max_wait (2 * b.cur));
+      b.cur <- min b.max_wait (b.cur * 2)
 
 let reset b = b.cur <- b.min_wait

@@ -6,13 +6,22 @@
 
 type t
 
+(** How long the caller expects the conflicting condition to persist, so
+    one backoff instance can serve aborts of very different costs. *)
+type hint =
+  | Short  (** transient: a commit-time lock held for a few stores *)
+  | Normal  (** unknown: the classic randomized exponential schedule *)
+  | Long  (** durable: a serial-irrevocable transaction is running *)
+
 val create : ?min_wait:int -> ?max_wait:int -> unit -> t
 (** [create ()] makes a fresh backoff whose first wait spins for roughly
     [min_wait] iterations and doubles up to [max_wait]. The number of
     iterations is randomized to de-synchronize colliding threads. *)
 
-val once : t -> unit
-(** [once b] waits for the current duration and doubles the next one. *)
+val once : ?hint:hint -> t -> unit
+(** [once b] waits for the current duration and doubles the next one.
+    [~hint:Short] waits a quarter period without escalating;
+    [~hint:Long] waits a doubled period and escalates. *)
 
 val reset : t -> unit
 (** [reset b] returns [b] to its initial (shortest) wait. *)

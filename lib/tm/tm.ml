@@ -36,6 +36,14 @@ type txn = {
   mutable rn : int;
   mutable wset : wentry array;
   mutable wn : int;
+  mutable wfilter : int;
+      (* Bloom word over the uids in the write set: a clear bit lets
+         [read] skip [wset_find] entirely — the common case, since most
+         reads are of locations never written. *)
+  mutable windex : int array;
+      (* Open-addressed uid index over [wset] ([slot+1]; 0 = empty),
+         engaged once [wn] passes [windex_threshold] so lookups stop
+         being O(wn). [no_index] (physically) when disengaged. *)
   mutable defers : (unit -> unit) list;
   mutable stamp : int;
   mutable read_only : bool;
@@ -65,9 +73,13 @@ let no_site = "?"
 
 (* Global serial token and per-thread committing flags implementing the
    Dekker-style quiescence handshake between speculative committers and the
-   serial fallback. *)
-let serial_token = Atomic.make 0
-let committing = Array.init max_threads (fun _ -> Atomic.make false)
+   serial fallback. Every flag is stride-padded onto its own cache lines:
+   each committer writes its flag twice per writing commit, and with the
+   flags packed eight to a line those writes would invalidate the line
+   under seven other committers (and under the serial fallback's quiescence
+   scan). *)
+let serial_token = Pad.atomic 0
+let committing = Array.init max_threads (fun _ -> Pad.atomic false)
 let serial_active () = Atomic.get serial_token = 1
 
 let default_attempts = Atomic.make 4
@@ -84,6 +96,8 @@ type thread_state = {
   t_slot : Telemetry.slot;
 }
 
+let no_index : int array = [||]
+
 let fresh_txn tid =
   {
     tid;
@@ -97,6 +111,8 @@ let fresh_txn tid =
     rn = 0;
     wset = Array.make 16 dummy_wentry;
     wn = 0;
+    wfilter = 0;
+    windex = no_index;
     defers = [];
     stamp = 0;
     read_only = true;
@@ -110,7 +126,13 @@ module Thread = struct
 
   let pool_mutex = Mutex.create ()
   let free_ids : int list ref = ref []
-  let next_id = ref 0
+
+  (* High-water mark of handed-out ids. Atomic (though always updated
+     under [pool_mutex]) so the serial fallback can read it without the
+     lock as its quiescence watermark: only ids below it can possibly
+     have a committing flag set. It never decreases — released ids go to
+     [free_ids], not back into the watermark. *)
+  let next_id = Atomic.make 0
 
   let acquire_id () =
     Mutex.lock pool_mutex;
@@ -120,11 +142,11 @@ module Thread = struct
           free_ids := rest;
           id
       | [] ->
-          let id = !next_id in
+          let id = Atomic.get next_id in
           if id >= max_threads then (
             Mutex.unlock pool_mutex;
             failwith "Tm.Thread.register: thread-id space exhausted");
-          incr next_id;
+          Atomic.set next_id (id + 1);
           id
     in
     Mutex.unlock pool_mutex;
@@ -143,9 +165,15 @@ module Thread = struct
     | Some st -> st
     | None ->
         let id = acquire_id () in
+        (* The stats and backoff records are bumped on every attempt;
+           padding keeps one domain's updates from invalidating the
+           cache line under a neighbouring domain's records (DLS roots
+           for concurrently spawned domains are allocated together). *)
         let st =
-          { id; txn = fresh_txn id; backoff = Backoff.create ();
-            t_stats = Tm_stats.create (); t_slot = Telemetry.slot id }
+          { id; txn = fresh_txn id;
+            backoff = Pad.copy_as_padded (Backoff.create ());
+            t_stats = Pad.copy_as_padded (Tm_stats.create ());
+            t_slot = Telemetry.slot id }
         in
         Domain.DLS.set dls_key (Some st);
         st
@@ -169,7 +197,24 @@ end
 
 (* ---- read/write sets ---- *)
 
-let rset_push txn lock word uid =
+(* One Fibonacci-hashed bit per uid in the 63-bit Bloom word over the
+   write set. No false negatives: every logged uid has
+   its bit set, so a clear bit proves absence without touching the log.
+   This runs on every [read], so the 6-bit slice of the product is range-
+   reduced to 0..62 with a multiply-shift — a [mod] here would cost a
+   hardware division per read. (Bit 62 is the sign bit; as a pure mask
+   bit that is fine.) *)
+let[@inline] filter_bit uid =
+  let h = (uid * 0x9e3779b1) lsr 26 in
+  1 lsl (((h land 63) * 63) lsr 6)
+
+let[@inline] uid_hash uid = uid * 0x9e3779b1
+
+(* Write sets up to this size are scanned linearly (they fit in a cache
+   line or two); past it, [windex] takes over. *)
+let windex_threshold = 8
+
+let[@inline] rset_push txn lock word uid =
   if txn.rn = Array.length txn.r_locks then begin
     let n = 2 * txn.rn in
     let locks = Array.make n dummy_lock
@@ -187,33 +232,92 @@ let rset_push txn lock word uid =
   txn.r_uids.(txn.rn) <- uid;
   txn.rn <- txn.rn + 1
 
+(* Slot of [tv] in the write set, or -1. Uids are unique per tvar, so the
+   index probe compares identities just like the linear scan; a chain ends
+   at the first empty index slot (the table keeps load factor <= 1/2, so
+   probes terminate). *)
+let wset_slot : type a. txn -> a tvar -> int =
+ fun txn tv ->
+  if txn.windex != no_index then begin
+    let idx = txn.windex in
+    let mask = Array.length idx - 1 in
+    let rec probe i =
+      match idx.(i) with
+      | 0 -> -1
+      | s ->
+          let (W e) = txn.wset.(s - 1) in
+          if Obj.repr e.tv == Obj.repr tv then s - 1
+          else probe ((i + 1) land mask)
+    in
+    probe (uid_hash tv.uid land mask)
+  end
+  else
+    let rec go i =
+      if i >= txn.wn then -1
+      else
+        let (W e) = txn.wset.(i) in
+        if Obj.repr e.tv == Obj.repr tv then i else go (i + 1)
+    in
+    go 0
+
 let wset_find : type a. txn -> a tvar -> a option =
  fun txn tv ->
-  let rec go i =
-    if i >= txn.wn then None
-    else
-      let (W e) = txn.wset.(i) in
-      if Obj.repr e.tv == Obj.repr tv then Some (Obj.magic e.v) else go (i + 1)
-  in
-  go 0
+  match wset_slot txn tv with
+  | -1 -> None
+  | s ->
+      let (W e) = txn.wset.(s) in
+      Some (Obj.magic e.v)
+
+let windex_add idx uid slot =
+  let mask = Array.length idx - 1 in
+  let i = ref (uid_hash uid land mask) in
+  while idx.(!i) <> 0 do
+    i := (!i + 1) land mask
+  done;
+  idx.(!i) <- slot + 1
+
+(* (Re)build the index over the first [wn] entries, sized to keep the load
+   factor at or below 1/4 so probe chains stay short. *)
+let windex_rebuild txn =
+  let cap = ref 32 in
+  while !cap < 4 * txn.wn do
+    cap := !cap * 2
+  done;
+  let idx = Array.make !cap 0 in
+  for s = 0 to txn.wn - 1 do
+    let (W e) = txn.wset.(s) in
+    windex_add idx e.tv.uid s
+  done;
+  txn.windex <- idx
 
 let wset_put : type a. txn -> a tvar -> a -> unit =
  fun txn tv v ->
-  let rec go i =
-    if i >= txn.wn then begin
-      if txn.wn = Array.length txn.wset then begin
-        let arr = Array.make (2 * txn.wn) dummy_wentry in
-        Array.blit txn.wset 0 arr 0 txn.wn;
-        txn.wset <- arr
-      end;
-      txn.wset.(txn.wn) <- W { tv; v };
-      txn.wn <- txn.wn + 1
+  let s = wset_slot txn tv in
+  if s >= 0 then
+    let (W e) = txn.wset.(s) in
+    e.v <- Obj.magic v
+  else begin
+    if txn.wn = Array.length txn.wset then begin
+      let arr = Array.make (2 * txn.wn) dummy_wentry in
+      Array.blit txn.wset 0 arr 0 txn.wn;
+      txn.wset <- arr
+    end;
+    txn.wset.(txn.wn) <- W { tv; v };
+    txn.wfilter <- txn.wfilter lor filter_bit tv.uid;
+    if txn.windex != no_index then
+      if 2 * (txn.wn + 1) > Array.length txn.windex then begin
+        txn.wn <- txn.wn + 1;
+        windex_rebuild txn
+      end
+      else begin
+        windex_add txn.windex tv.uid txn.wn;
+        txn.wn <- txn.wn + 1
+      end
+    else begin
+      txn.wn <- txn.wn + 1;
+      if txn.wn > windex_threshold then windex_rebuild txn
     end
-    else
-      let (W e) = txn.wset.(i) in
-      if Obj.repr e.tv == Obj.repr tv then e.v <- Obj.magic v else go (i + 1)
-  in
-  go 0
+  end
 
 let wset_holds_lock txn lock =
   let rec go i =
@@ -234,16 +338,40 @@ let reset_logs txn =
   done;
   txn.rn <- 0;
   txn.wn <- 0;
+  txn.wfilter <- 0;
+  (* Drop (rather than zero) the index: most transactions never engage it,
+     and the next large one rebuilds at the right size anyway. *)
+  if txn.windex != no_index then txn.windex <- no_index;
   txn.defers <- [];
   txn.read_only <- true;
   txn.must_validate <- false
 
 (* ---- transactional operations ---- *)
 
+(* Whether entry [i] of the read set already logs [lock]. A same-lock
+   entry with a {e different} word is impossible for a live transaction —
+   any commit that changed the word after it was first logged carries
+   [wv > rv] and would have failed this read's version check — so it is
+   treated as the inconsistency it would be and aborts. *)
+let[@inline] rset_dup_at txn i lock word uid =
+  i >= 0
+  && txn.r_locks.(i) == lock
+  && (txn.r_words.(i) = word
+     ||
+     (txn.conflict_uid <- uid;
+      raise (Abort Read_invalid)))
+
 let read (txn : txn) tv =
   if txn.serial then Atomic.get tv.cell
-  else
-    match wset_find txn tv with
+  else begin
+    let bit = filter_bit tv.uid in
+    let buffered =
+      (* The filter has no false negatives, so a clear bit skips the
+         write-set lookup outright — the common case for a traversal,
+         whose reads vastly outnumber its writes. *)
+      if txn.wfilter land bit <> 0 then wset_find txn tv else None
+    in
+    match buffered with
     | Some v -> v
     | None ->
         let l1 = Atomic.get tv.lock in
@@ -257,8 +385,23 @@ let read (txn : txn) tv =
           txn.conflict_uid <- tv.uid;
           raise (Abort Read_invalid)
         end;
-        rset_push txn tv.lock l1 tv.uid;
+        (* Dedup: a hand-over-hand operation re-reads locations it logged
+           moments ago — the traversal's (prev, curr) pair, a node's
+           fields around an unlink — so when a read is a duplicate, the
+           earlier entry sits at the tail of the read set. Checking the
+           two newest entries catches these patterns for the cost of two
+           physical-equality tests; a duplicate that escapes the bound is
+           pushed again, which is benign, since commit-time validation is
+           per-location. (An exact Bloom-filtered dedup was measurably
+           slower: its per-read hash-and-test overhead outweighed the
+           saved entries on every single-domain configuration.) *)
+        if
+          not
+            (rset_dup_at txn (txn.rn - 1) tv.lock l1 tv.uid
+            || rset_dup_at txn (txn.rn - 2) tv.lock l1 tv.uid)
+        then rset_push txn tv.lock l1 tv.uid;
         v
+  end
 
 let write (txn : txn) tv v =
   txn.read_only <- false;
@@ -379,15 +522,23 @@ let commit (txn : txn) =
 let serial_acquire () =
   let b = Backoff.create () in
   while not (Atomic.compare_and_set serial_token 0 1) do
-    Backoff.once b
+    (* The current holder runs a whole irrevocable transaction. *)
+    Backoff.once ~hint:Backoff.Long b
   done;
-  (* Quiesce in-flight speculative committers. *)
-  Array.iter
-    (fun flag ->
-      while Atomic.get flag do
-        Domain.cpu_relax ()
-      done)
-    committing
+  (* Quiesce in-flight speculative committers. Only ids below the
+     registration watermark can have a committing flag set: ids are handed
+     out by bumping [Thread.next_id] before the owning domain's first
+     commit, and a registration racing this read sets its flag only after
+     the token (already 1, sequentially consistent) is visible, so that
+     committer sees the token and aborts with [Serial_pending] instead.
+     Scanning the watermark rather than all [max_threads] slots keeps the
+     fallback's entry cost proportional to the threads that exist. *)
+  let live = Atomic.get Thread.next_id in
+  for i = 0 to live - 1 do
+    while Atomic.get committing.(i) do
+      Domain.cpu_relax ()
+    done
+  done
 
 let serial_release () = Atomic.set serial_token 0
 
@@ -514,24 +665,28 @@ let atomic_stamped ?site ?max_attempts f =
                 ~cause:(cause_label cause) ~uid:txn.conflict_uid
             end;
             txn.conflict_uid <- -1;
-            let next =
+            let next, hint =
               match cause with
               | Read_invalid ->
                   Stats.incr_aborts_read stats;
-                  n + 1
+                  (n + 1, Backoff.Normal)
               | Lock_busy ->
+                  (* The lock clears as soon as the holder finishes its
+                     writeback; a full exponential wait would outlive it. *)
                   Stats.incr_aborts_lock stats;
-                  n + 1
+                  (n + 1, Backoff.Short)
               | Serial_pending ->
+                  (* The serial transaction holds the token for its whole
+                     run; retry eagerly and it aborts again. *)
                   Stats.incr_aborts_serial stats;
-                  n + 1
+                  (n + 1, Backoff.Long)
               | User_retry ->
                   Stats.incr_aborts_user stats;
                   (* Explicit retries wait for state to change; they do not
                      escalate to the (irrevocable) serial mode. *)
-                  n
+                  (n, Backoff.Normal)
             in
-            Backoff.once st.backoff;
+            Backoff.once ~hint st.backoff;
             attempt next (total + 1)
         | exception e ->
             txn.active <- false;
@@ -569,4 +724,6 @@ let poke tv v =
   Atomic.set tv.cell v;
   Atomic.set tv.lock (wv lsl 1)
 
-let _ = ignore dummy_lock
+(* White-box hooks for the read/write-set tests. *)
+let reads_logged (txn : txn) = txn.rn
+let writes_logged (txn : txn) = txn.wn

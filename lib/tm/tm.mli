@@ -157,6 +157,14 @@ val poke : 'a tvar -> 'a -> unit
 val serial_active : unit -> bool
 (** Whether a serial transaction currently holds the token (for tests). *)
 
+val reads_logged : txn -> int
+(** Number of entries currently in the transaction's read set. White-box
+    hook for tests of read-set dedup; meaningless outside {!atomic}. *)
+
+val writes_logged : txn -> int
+(** Number of distinct locations in the transaction's write set. White-box
+    hook for tests; meaningless outside {!atomic}. *)
+
 val current_txn : unit -> txn option
 (** The calling domain's active transaction, if any. Lets operations that
     normally run stand-alone detect that they were called {e inside} an

@@ -203,7 +203,12 @@ let test_driver_end_to_end () =
         Workload.spec ~key_bits:6 ~lookup_pct:33 ~threads:2
           ~ops_per_thread:1000 ()
       in
-      let h = (Factories.slist ~window:4 (Structs.Mode.Rr_kind (module Rr.V))).Factories.make () in
+      let h =
+        (Factories.make
+           (Factories.Spec.v ~window:4 Factories.Spec.Slist
+              (Structs.Mode.Rr_kind (module Rr.V))))
+          .Factories.make ()
+      in
       let r = Driver.run spec h in
       checkb "verdict ok" true (r.Driver.verdict = Ok ());
       check "ops counted" 2000 r.Driver.total_ops;
@@ -211,10 +216,36 @@ let test_driver_end_to_end () =
       checkb "abort rate sane" true
         (Driver.abort_rate r >= 0. && Driver.abort_rate r < 1.))
 
+(* Serializability must survive the commit-path fast paths: with
+   max_attempts = 0 every window transaction goes straight to the serial
+   fallback, so this run exercises watermark quiescence (only registered
+   ids are polled) and read-set dedup together on every operation, and
+   the stamp-order checker must still accept the history. *)
+let test_driver_serial_pressure () =
+  Tm.Thread.with_registered (fun _ ->
+      let spec =
+        Workload.spec ~key_bits:5 ~lookup_pct:20 ~threads:4
+          ~ops_per_thread:400 ()
+      in
+      let h =
+        (Factories.make
+           (Factories.Spec.v ~window:2 ~max_attempts:0 Factories.Spec.Slist
+              (Structs.Mode.Rr_kind (module Rr.V))))
+          .Factories.make ()
+      in
+      let r = Driver.run spec h in
+      checkb "serializable under serial pressure" true
+        (r.Driver.verdict = Ok ());
+      checkb "fallbacks actually exercised" true
+        (Tm.Stats.fallbacks r.Driver.tm > 0))
+
 let test_driver_catches_bugs () =
   (* a deliberately broken set: lookup always false *)
   Tm.Thread.with_registered (fun _ ->
-      let inner = (Factories.slist Structs.Mode.Htm).Factories.make () in
+      let inner =
+        (Factories.make (Factories.Spec.v Factories.Spec.Slist Structs.Mode.Htm))
+          .Factories.make ()
+      in
       let broken =
         {
           inner with
@@ -285,6 +316,8 @@ let () =
       ( "driver",
         [
           Alcotest.test_case "end to end" `Slow test_driver_end_to_end;
+          Alcotest.test_case "serial pressure" `Slow
+            test_driver_serial_pressure;
           Alcotest.test_case "catches bugs" `Slow test_driver_catches_bugs;
         ] );
       ("report", [ Alcotest.test_case "csv" `Quick test_report_csv ]);

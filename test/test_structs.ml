@@ -9,53 +9,58 @@ open Harness
 
 let rr_kinds = Factories.rr_kinds
 
+module Spec = Factories.Spec
+
+(* Every factory under test is a [Spec.t]; the HTM (plain single-
+   transaction) variants take the structure's default window. *)
+let spec ?window ?buckets structure kind =
+  Factories.make (Spec.v ?window ?buckets structure kind)
+
 let slist_factories =
-  List.map (fun (_, k) -> Factories.slist ~window:3 k) rr_kinds
+  List.map (fun (_, k) -> spec ~window:3 Spec.Slist k) rr_kinds
   @ [
-      Factories.slist Structs.Mode.Htm;
-      Factories.slist ~window:3 Structs.Mode.Tmhp;
-      Factories.slist ~window:3 Structs.Mode.Ref;
-      Factories.slist ~window:3 Structs.Mode.Ebr;
+      spec Spec.Slist Structs.Mode.Htm;
+      spec ~window:3 Spec.Slist Structs.Mode.Tmhp;
+      spec ~window:3 Spec.Slist Structs.Mode.Ref;
+      spec ~window:3 Spec.Slist Structs.Mode.Ebr;
     ]
 
 let dlist_factories =
-  List.map (fun (_, k) -> Factories.dlist ~window:3 k) rr_kinds
+  List.map (fun (_, k) -> spec ~window:3 Spec.Dlist k) rr_kinds
   @ [
-      Factories.dlist Structs.Mode.Htm;
-      Factories.dlist ~window:3 Structs.Mode.Tmhp;
-      Factories.dlist ~window:3 Structs.Mode.Ebr;
+      spec Spec.Dlist Structs.Mode.Htm;
+      spec ~window:3 Spec.Dlist Structs.Mode.Tmhp;
+      spec ~window:3 Spec.Dlist Structs.Mode.Ebr;
     ]
 
 let bst_int_factories =
-  List.map (fun (_, k) -> Factories.bst_int ~window:3 k) rr_kinds
-  @ [ Factories.bst_int Structs.Mode.Htm ]
+  List.map (fun (_, k) -> spec ~window:3 Spec.Bst_int k) rr_kinds
+  @ [ spec Spec.Bst_int Structs.Mode.Htm ]
 
 let bst_ext_factories =
-  List.map (fun (_, k) -> Factories.bst_ext ~window:3 k) rr_kinds
+  List.map (fun (_, k) -> spec ~window:3 Spec.Bst_ext k) rr_kinds
   @ [
-      Factories.bst_ext Structs.Mode.Htm;
-      Factories.bst_ext ~window:3 Structs.Mode.Tmhp;
-      Factories.bst_ext ~window:3 Structs.Mode.Ebr;
+      spec Spec.Bst_ext Structs.Mode.Htm;
+      spec ~window:3 Spec.Bst_ext Structs.Mode.Tmhp;
+      spec ~window:3 Spec.Bst_ext Structs.Mode.Ebr;
     ]
 
 (* hash set: use few buckets so chains are long enough to exercise
    hand-over-hand windows and reservations *)
 let hashset_factories =
-  List.map
-    (fun (_, k) -> Factories.hashset ~buckets:4 ~window:3 k)
-    rr_kinds
+  List.map (fun (_, k) -> spec ~buckets:4 ~window:3 Spec.Hashset k) rr_kinds
   @ [
-      Factories.hashset ~buckets:4 Structs.Mode.Htm;
-      Factories.hashset ~buckets:4 ~window:3 Structs.Mode.Tmhp;
-      Factories.hashset ~buckets:4 ~window:3 Structs.Mode.Ebr;
+      spec ~buckets:4 Spec.Hashset Structs.Mode.Htm;
+      spec ~buckets:4 ~window:3 Spec.Hashset Structs.Mode.Tmhp;
+      spec ~buckets:4 ~window:3 Spec.Hashset Structs.Mode.Ebr;
     ]
 
 let skiplist_factories =
-  List.map (fun (_, k) -> Factories.skiplist ~window:3 k) rr_kinds
+  List.map (fun (_, k) -> spec ~window:3 Spec.Skiplist k) rr_kinds
   @ [
-      Factories.skiplist Structs.Mode.Htm;
-      Factories.skiplist ~window:3 Structs.Mode.Tmhp;
-      Factories.skiplist ~window:3 Structs.Mode.Ebr;
+      spec Spec.Skiplist Structs.Mode.Htm;
+      spec ~window:3 Spec.Skiplist Structs.Mode.Tmhp;
+      spec ~window:3 Spec.Skiplist Structs.Mode.Ebr;
     ]
 
 let all_factories =
@@ -240,7 +245,7 @@ let test_dlist_split_ablation () =
 let test_tmhp_no_recycled_resumes () =
   Tm.Thread.with_registered (fun _ ->
       let before = Atomic.get Structs.Mode.tmhp_gen_violations in
-      let h = (Factories.slist ~window:3 Structs.Mode.Tmhp).Factories.make () in
+      let h = (spec ~window:3 Spec.Slist Structs.Mode.Tmhp).Factories.make () in
       let spec =
         Workload.spec ~key_bits:5 ~lookup_pct:10 ~threads:4
           ~ops_per_thread:2000 ()

@@ -179,6 +179,106 @@ let test_validate_on_commit () =
       check "plain read-only txn commits" 1 !attempts2;
       check "with the pre-poke snapshot" 99 seen2)
 
+(* ---- commit path: write-set index, filters, read-set dedup ---- *)
+
+(* Mirrors the Bloom-bit hash in tm.ml (white-box): used to manufacture a
+   filter false positive below. *)
+let filter_bit uid =
+  let h = (uid * 0x9e3779b1) lsr 26 in
+  1 lsl (((h land 63) * 63) lsr 6)
+
+let test_wset_growth_readback () =
+  with_tm (fun () ->
+      (* 100 writes crosses the hash-index engagement threshold and forces
+         several rehashes; read-after-write must keep returning the
+         buffered value throughout. *)
+      let n = 100 in
+      let tvars = Array.init n (fun _ -> Tm.tvar (-1)) in
+      Tm.atomic (fun txn ->
+          Array.iteri (fun i tv -> Tm.write txn tv (i * 3)) tvars;
+          Array.iteri
+            (fun i tv ->
+              check (Printf.sprintf "readback %d" i) (i * 3) (Tm.read txn tv))
+            tvars;
+          check "each tvar logged once" n (Tm.writes_logged txn));
+      Array.iteri
+        (fun i tv -> check (Printf.sprintf "committed %d" i) (i * 3) (Tm.peek tv))
+        tvars)
+
+let test_wset_overwrite_in_place () =
+  with_tm (fun () ->
+      let a = Tm.tvar 0 in
+      let others = Array.init 40 (fun _ -> Tm.tvar 0) in
+      Tm.atomic (fun txn ->
+          Tm.write txn a 1;
+          (* push the write set past the index threshold, then overwrite
+             the first entry: the indexed lookup must find and update it
+             rather than append a duplicate *)
+          Array.iter (fun tv -> Tm.write txn tv 7) others;
+          Tm.write txn a 2;
+          check "overwrite did not append" 41 (Tm.writes_logged txn);
+          check "read sees overwrite" 2 (Tm.read txn a));
+      check "last write wins" 2 (Tm.peek a))
+
+let test_wfilter_false_positive_falls_through () =
+  with_tm (fun () ->
+      (* find two tvars whose uids share a filter bit; writing one sets
+         the bit, so reading the other takes the filtered path, misses in
+         the write set, and must fall through to the committed value *)
+      let seed = Tm.tvar 111 in
+      let bit = filter_bit (Tm.tvar_id seed) in
+      let rec mk_collider tries =
+        if tries > 10_000 then None
+        else
+          let tv = Tm.tvar 222 in
+          if filter_bit (Tm.tvar_id tv) = bit then Some tv
+          else mk_collider (tries + 1)
+      in
+      match mk_collider 0 with
+      | None -> Alcotest.fail "no filter collision in 10k tvars (62 bits?)"
+      | Some other ->
+          let seen =
+            Tm.atomic (fun txn ->
+                Tm.write txn seed 333;
+                Tm.read txn other)
+          in
+          check "false positive reads committed value" 222 seen;
+          check "seed committed" 333 (Tm.peek seed))
+
+let test_rset_dedup () =
+  with_tm (fun () ->
+      let a = Tm.tvar 1 and b = Tm.tvar 2 in
+      Tm.atomic (fun txn ->
+          for _ = 1 to 50 do
+            ignore (Tm.read txn a)
+          done;
+          check "repeated reads log once" 1 (Tm.reads_logged txn);
+          ignore (Tm.read txn b);
+          for _ = 1 to 50 do
+            ignore (Tm.read txn a + Tm.read txn b)
+          done;
+          check "two tvars, two entries" 2 (Tm.reads_logged txn)))
+
+let test_rset_dedup_still_validated () =
+  with_tm (fun () ->
+      (* dedup must not weaken commit-time validation: the single logged
+         entry still catches a concurrent update *)
+      let v = Tm.tvar 0 in
+      let attempts = ref 0 in
+      let seen =
+        Tm.atomic ~max_attempts:10 (fun txn ->
+            incr attempts;
+            let x = ref 0 in
+            for _ = 1 to 10 do
+              x := Tm.read txn v
+            done;
+            Tm.validate_on_commit txn;
+            if !attempts = 1 then Tm.poke v 55;
+            !x)
+      in
+      check "deduped read still validated" 2 !attempts;
+      check "retry saw the poke" 55 seen)
+
 (* ---- thread registry ---- *)
 
 let test_thread_ids_recycled () =
@@ -448,6 +548,18 @@ let () =
           Alcotest.test_case "opaque snapshot" `Quick test_opaque_snapshot;
           Alcotest.test_case "validate-on-commit" `Quick
             test_validate_on_commit;
+        ] );
+      ( "commit path",
+        [
+          Alcotest.test_case "write-set growth readback" `Quick
+            test_wset_growth_readback;
+          Alcotest.test_case "overwrite in place" `Quick
+            test_wset_overwrite_in_place;
+          Alcotest.test_case "filter false positive" `Quick
+            test_wfilter_false_positive_falls_through;
+          Alcotest.test_case "read-set dedup" `Quick test_rset_dedup;
+          Alcotest.test_case "dedup still validated" `Quick
+            test_rset_dedup_still_validated;
         ] );
       ( "threads",
         [
