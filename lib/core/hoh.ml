@@ -26,6 +26,10 @@ let run ~rr ?site ?max_attempts step =
         (v, res.Tm.stamp)
     | Hand_off r ->
         reserved := Some r;
+        (* Between windows the operation holds only its reservation; this
+           is the interleaving the paper's races live in, so make it a
+           first-class scheduling point. *)
+        Dst.point Dst.Hoh_handoff;
         loop ()
   in
   loop ()

@@ -134,6 +134,7 @@ let revoke t txn r =
     let rec walk = function
       | None -> ()
       | Some cell ->
+          Dst.point Dst.Rr_revoke_step;
           (match Tm.read txn cell.value with
           | Some r' when t.equal r' r -> Tm.write txn cell.value None
           | Some _ | None -> ());

@@ -91,6 +91,7 @@ let revoke t txn r =
   let rec walk = function
     | None -> ()
     | Some n ->
+        Dst.point Dst.Rr_revoke_step;
         Array.iter
           (fun slot ->
             match Tm.read txn slot with

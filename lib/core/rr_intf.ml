@@ -77,16 +77,33 @@ type 'r ops = {
 let instantiate (type r) (module M : S) ?config ~(hash : r -> int)
     ~(equal : r -> r -> bool) () : r ops =
   let t = M.create ?config ~hash ~equal () in
+  (* The single funnel every implementation's operations pass through, so
+     one yield point per method covers all six RRs under DST. *)
   let plain =
     {
       name = M.name;
       strict = M.strict;
       register = (fun txn -> M.register t txn);
-      reserve = (fun txn r -> M.reserve t txn r);
-      release = (fun txn r -> M.release t txn r);
-      release_all = (fun txn -> M.release_all t txn);
-      get = (fun txn r -> M.get t txn r);
-      revoke = (fun txn r -> M.revoke t txn r);
+      reserve =
+        (fun txn r ->
+          Dst.point Dst.Rr_reserve;
+          M.reserve t txn r);
+      release =
+        (fun txn r ->
+          Dst.point Dst.Rr_release;
+          M.release t txn r);
+      release_all =
+        (fun txn ->
+          Dst.point Dst.Rr_release;
+          M.release_all t txn);
+      get =
+        (fun txn r ->
+          Dst.point Dst.Rr_get;
+          M.get t txn r);
+      revoke =
+        (fun txn r ->
+          Dst.point Dst.Rr_revoke;
+          M.revoke t txn r);
     }
   in
   if not (Telemetry.enabled ()) then plain

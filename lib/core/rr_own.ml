@@ -95,5 +95,6 @@ let get t txn r =
 let revoke t txn r =
   let i = index t r in
   for way = 0 to t.ways - 1 do
+    Dst.point Dst.Rr_revoke_step;
     Tm.write txn t.own.(way).(i) (-1)
   done

@@ -165,6 +165,9 @@ let take_pooled t ~thread =
               Some n))
 
 let alloc t ~thread =
+  (* DST fault injection: a [Fail] arm on [Mp_alloc] models allocation
+     failure (arena and global freelists empty, fabrication refused). *)
+  if Dst.point_fails Dst.Mp_alloc then raise (Dst.Injected Dst.Mp_alloc);
   let n = match take_pooled t ~thread with Some n -> n | None -> fabricate t in
   let st = t.state n in
   if not (Atomic.compare_and_set st st_free st_live) then
@@ -201,6 +204,7 @@ let stash t ~thread n =
       end
 
 let free t ~thread n =
+  Dst.point Dst.Mp_free;
   let st = t.state n in
   if not (Atomic.compare_and_set st st_live st_free) then
     raise (Double_free (t.node_id n));

@@ -61,6 +61,7 @@ let create ?(advance_threshold = 32) ~free () =
   t
 
 let enter t ~thread =
+  Dst.point Dst.Ep_enter;
   let pt = t.threads.(thread) in
   (* Announce, then re-check the global epoch: if it moved between the read
      and the announce, re-announce so we never appear active in a stale
@@ -103,6 +104,7 @@ let collect t ~thread pt =
     pt.bags
 
 let try_advance t =
+  Dst.point Dst.Ep_advance;
   let e = Atomic.get t.global in
   let blocked =
     Array.exists
@@ -116,6 +118,7 @@ let try_advance t =
       Atomic.incr t.advances
 
 let retire t ~thread n =
+  Dst.point Dst.Ep_retire;
   let pt = t.threads.(thread) in
   let e = Atomic.get t.global in
   let bag = pt.bags.(e mod 3) in

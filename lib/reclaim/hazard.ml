@@ -68,6 +68,9 @@ let slot_index t ~thread ~slot =
   (thread * t.slots_per_thread) + slot
 
 let protect t ~thread ~slot n =
+  (* The publish race lives here: between the caller's read of the pointer
+     and this store, a concurrent retire+scan can free the node. *)
+  Dst.point Dst.Hp_protect;
   Atomic.set t.slots.(slot_index t ~thread ~slot) (Some n)
 
 let clear t ~thread ~slot =
@@ -112,6 +115,7 @@ let mem_sorted ids x =
   go 0 (Array.length ids)
 
 let scan_thread t ~thread pt =
+  Dst.point Dst.Hp_scan;
   pt.scans <- pt.scans + 1;
   let hazards = hazard_snapshot t in
   let tnow = now () in
@@ -133,6 +137,7 @@ let scan_thread t ~thread pt =
 let scan t ~thread = scan_thread t ~thread t.threads.(thread)
 
 let retire t ~thread n =
+  Dst.point Dst.Hp_retire;
   let pt = t.threads.(thread) in
   pt.retired <- { node = n; retired_at = now () } :: pt.retired;
   pt.retired_count <- pt.retired_count + 1;

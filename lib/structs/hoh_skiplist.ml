@@ -71,11 +71,15 @@ let collect_preds txn t ~key preds =
    and position are skipped by walking forward within the snapshot. *)
 let fresh_pred txn t ~key ~preds l =
   let hint = preds.(l) in
+  (* Dst.Inject bug #3: only check [deleted], as the original code did — a
+     freed hint recycled under a new key/tower is then accepted and the
+     level-[l] walk starts outside the level-[l] list (DESIGN.md). *)
   if
     (not (Snode.equal hint t.head))
     && (Tm.read txn hint.Snode.deleted
-       || Tm.read txn hint.Snode.key >= key
-       || Tm.read txn hint.Snode.level <= l)
+       || (not (Dst.Inject.bug Dst.Inject.Stale_hint))
+          && (Tm.read txn hint.Snode.key >= key
+             || Tm.read txn hint.Snode.level <= l))
   then raise Stale_hint;
   let rec go p =
     match Tm.read txn p.Snode.next.(l) with

@@ -82,8 +82,10 @@ let tmhp_mode ~pool ~deleted ~gen ~hp_threshold =
        concurrent remover's retire-scan had already decided to free [n].
        Forcing read-set validation orders the publication before any
        conflicting commit, exactly like Michael's re-read of the source
-       pointer after setting a hazard pointer. *)
-    Tm.validate_on_commit txn;
+       pointer after setting a hazard pointer. Dst.Inject bug #2 drops the
+       forced validation, re-opening the publication race (DESIGN.md). *)
+    if not (Dst.Inject.bug Dst.Inject.Ro_publication) then
+      Tm.validate_on_commit txn;
     Tm.defer txn (fun () ->
         Reclaim.Hazard.clear hazard ~thread ~slot:cur.(thread);
         cur.(thread) <- spare;
@@ -208,7 +210,9 @@ let ebr_mode ~pool ~deleted ~advance_threshold =
     keep.(thread) <- true;
     if not active.(thread) then begin
       Reclaim.Epoch.enter epoch ~thread;
-      Tm.validate_on_commit txn
+      (* Same publication race as TMHP's reserve (Dst.Inject bug #2). *)
+      if not (Dst.Inject.bug Dst.Inject.Ro_publication) then
+        Tm.validate_on_commit txn
     end;
     Tm.defer txn (fun () -> active.(thread) <- true)
   in

@@ -157,11 +157,23 @@ module Thread = struct
     free_ids := id :: !free_ids;
     Mutex.unlock pool_mutex
 
-  let dls_key : thread_state option Domain.DLS.key =
-    Domain.DLS.new_key (fun () -> None)
+  (* Test-only: forget released ids and rewind the watermark so ids are
+     handed out deterministically from 0 again. The caller must guarantee
+     no registered thread is live anywhere in the process. *)
+  let reset_ids_for_testing () =
+    Mutex.lock pool_mutex;
+    free_ids := [];
+    Atomic.set next_id 0;
+    Mutex.unlock pool_mutex
+
+  (* Logical-thread-local, not merely domain-local: under an active DST
+     schedule N logical threads share one domain and each needs its own
+     transaction descriptor. Outside DST this is exactly Domain.DLS. *)
+  let tls_key : thread_state option Dst.Tls.key =
+    Dst.Tls.new_key (fun () -> None)
 
   let state () =
-    match Domain.DLS.get dls_key with
+    match Dst.Tls.get tls_key with
     | Some st -> st
     | None ->
         let id = acquire_id () in
@@ -175,16 +187,16 @@ module Thread = struct
             t_stats = Pad.copy_as_padded (Tm_stats.create ());
             t_slot = Telemetry.slot id }
         in
-        Domain.DLS.set dls_key (Some st);
+        Dst.Tls.set tls_key (Some st);
         st
 
   let register () = (state ()).id
 
   let release () =
-    match Domain.DLS.get dls_key with
+    match Dst.Tls.get tls_key with
     | None -> ()
     | Some st ->
-        Domain.DLS.set dls_key None;
+        Dst.Tls.set tls_key None;
         release_id st.id
 
   let with_registered f =
@@ -364,6 +376,10 @@ let[@inline] rset_dup_at txn i lock word uid =
 let read (txn : txn) tv =
   if txn.serial then Atomic.get tv.cell
   else begin
+    if Dst.point_fails Dst.Tm_read then begin
+      txn.conflict_uid <- tv.uid;
+      raise (Abort Read_invalid)
+    end;
     let bit = filter_bit tv.uid in
     let buffered =
       (* The filter has no false negatives, so a clear bit skips the
@@ -409,6 +425,7 @@ let write (txn : txn) tv v =
     (* Irrevocable direct publication: mark locked, write, release with the
        serial stamp so concurrent speculative readers abort rather than
        pairing the new value with an old version. *)
+    Dst.point Dst.Tm_serial_write;
     Atomic.set tv.lock ((txn.serial_wv lsl 1) lor 1);
     Atomic.set tv.cell v;
     Atomic.set tv.lock (txn.serial_wv lsl 1)
@@ -447,95 +464,120 @@ let commit (txn : txn) =
        (hazard publication) re-validates: if any location it read has been
        overwritten or locked since, the publication may have come too late
        to be seen, so abort. *)
-    if txn.must_validate then
+    if txn.must_validate then begin
+      Dst.point Dst.Tm_validate;
       for i = 0 to txn.rn - 1 do
         if Atomic.get txn.r_locks.(i) <> txn.r_words.(i) then begin
           txn.conflict_uid <- txn.r_uids.(i);
           raise (Abort Read_invalid)
         end
-      done;
+      done
+    end;
     txn.stamp <- txn.rv;
     run_defers txn
   end
   else begin
+    if Dst.point_fails Dst.Tm_commit then begin
+      txn.conflict_uid <- -1;
+      raise (Abort Lock_busy)
+    end;
     let flag = committing.(txn.tid) in
     Atomic.set flag true;
-    if serial_active () then begin
-      Atomic.set flag false;
-      txn.conflict_uid <- -1;
-      raise (Abort Serial_pending)
-    end;
-    (* Lock the write set; abort immediately on any busy lock (no spinning,
-       so lock acquisition cannot deadlock). *)
-    let rec lock_from i =
-      if i < txn.wn then begin
-        let (W e) = txn.wset.(i) in
-        let l = Atomic.get e.tv.lock in
-        if locked l || not (Atomic.compare_and_set e.tv.lock l (l lor 1))
-        then begin
-          unlock_first_n txn i;
-          Atomic.set flag false;
-          txn.conflict_uid <- e.tv.uid;
-          raise (Abort Lock_busy)
-        end;
-        lock_from (i + 1)
-      end
-    in
-    lock_from 0;
-    let wv = Gclock.advance () in
-    (* If no other transaction committed since we began, the read set is
-       trivially valid (standard TL2 optimization). *)
-    if wv <> txn.rv + 1 then begin
-      let rec validate i =
-        if i < txn.rn then begin
-          let lock = txn.r_locks.(i) and word = txn.r_words.(i) in
-          let cur = Atomic.get lock in
-          let ok =
-            cur = word || (cur = word lor 1 && wset_holds_lock txn lock)
-          in
-          if not ok then begin
-            unlock_first_n txn txn.wn;
+    (* The committing flag must not survive an abandoned logical thread
+       (DST kills a paused commit by raising at a yield point): the abort
+       paths below clear it themselves before raising [Abort], and any
+       other exception clears it here. *)
+    try
+      if serial_active () then begin
+        Atomic.set flag false;
+        txn.conflict_uid <- -1;
+        raise (Abort Serial_pending)
+      end;
+      (* Lock the write set; abort immediately on any busy lock (no
+         spinning, so lock acquisition cannot deadlock). *)
+      let rec lock_from i =
+        if i < txn.wn then begin
+          Dst.point Dst.Tm_lock;
+          let (W e) = txn.wset.(i) in
+          let l = Atomic.get e.tv.lock in
+          if locked l || not (Atomic.compare_and_set e.tv.lock l (l lor 1))
+          then begin
+            unlock_first_n txn i;
             Atomic.set flag false;
-            txn.conflict_uid <- txn.r_uids.(i);
-            raise (Abort Read_invalid)
+            txn.conflict_uid <- e.tv.uid;
+            raise (Abort Lock_busy)
           end;
-          validate (i + 1)
+          lock_from (i + 1)
         end
       in
-      validate 0
-    end;
-    for i = 0 to txn.wn - 1 do
-      let (W e) = txn.wset.(i) in
-      Atomic.set e.tv.cell e.v
-    done;
-    for i = 0 to txn.wn - 1 do
-      let (W e) = txn.wset.(i) in
-      Atomic.set e.tv.lock (wv lsl 1)
-    done;
-    Atomic.set flag false;
-    txn.stamp <- wv;
-    run_defers txn
+      lock_from 0;
+      Dst.point Dst.Tm_gclock;
+      let wv = Gclock.advance () in
+      (* If no other transaction committed since we began, the read set is
+         trivially valid (standard TL2 optimization). *)
+      if wv <> txn.rv + 1 then begin
+        Dst.point Dst.Tm_validate;
+        let rec validate i =
+          if i < txn.rn then begin
+            let lock = txn.r_locks.(i) and word = txn.r_words.(i) in
+            let cur = Atomic.get lock in
+            let ok =
+              cur = word || (cur = word lor 1 && wset_holds_lock txn lock)
+            in
+            if not ok then begin
+              unlock_first_n txn txn.wn;
+              Atomic.set flag false;
+              txn.conflict_uid <- txn.r_uids.(i);
+              raise (Abort Read_invalid)
+            end;
+            validate (i + 1)
+          end
+        in
+        validate 0
+      end;
+      for i = 0 to txn.wn - 1 do
+        Dst.point Dst.Tm_publish;
+        let (W e) = txn.wset.(i) in
+        Atomic.set e.tv.cell e.v
+      done;
+      Dst.point Dst.Tm_publish;
+      for i = 0 to txn.wn - 1 do
+        let (W e) = txn.wset.(i) in
+        Atomic.set e.tv.lock (wv lsl 1)
+      done;
+      Atomic.set flag false;
+      txn.stamp <- wv;
+      run_defers txn
+    with
+    | Abort _ as e -> raise e
+    | e ->
+        Atomic.set flag false;
+        raise e
   end
 
 (* ---- serial fallback ---- *)
 
-let serial_acquire () =
+let serial_token_acquire () =
   let b = Backoff.create () in
   while not (Atomic.compare_and_set serial_token 0 1) do
     (* The current holder runs a whole irrevocable transaction. *)
-    Backoff.once ~hint:Backoff.Long b
-  done;
-  (* Quiesce in-flight speculative committers. Only ids below the
-     registration watermark can have a committing flag set: ids are handed
-     out by bumping [Thread.next_id] before the owning domain's first
-     commit, and a registration racing this read sets its flag only after
-     the token (already 1, sequentially consistent) is visible, so that
-     committer sees the token and aborts with [Serial_pending] instead.
-     Scanning the watermark rather than all [max_threads] slots keeps the
-     fallback's entry cost proportional to the threads that exist. *)
+    if Dst.scheduled () then Dst.point Dst.Tm_serial_token
+    else Backoff.once ~hint:Backoff.Long b
+  done
+
+(* Quiesce in-flight speculative committers. Only ids below the
+   registration watermark can have a committing flag set: ids are handed
+   out by bumping [Thread.next_id] before the owning domain's first
+   commit, and a registration racing this read sets its flag only after
+   the token (already 1, sequentially consistent) is visible, so that
+   committer sees the token and aborts with [Serial_pending] instead.
+   Scanning the watermark rather than all [max_threads] slots keeps the
+   fallback's entry cost proportional to the threads that exist. *)
+let serial_quiesce () =
   let live = Atomic.get Thread.next_id in
   for i = 0 to live - 1 do
     while Atomic.get committing.(i) do
+      Dst.point Dst.Tm_serial_quiesce;
       Domain.cpu_relax ()
     done
   done
@@ -544,9 +586,15 @@ let serial_release () = Atomic.set serial_token 0
 
 let serial_run st f =
   let txn = st.txn in
-  serial_acquire ();
+  (* Quiescence runs under the same protection as the body: if this
+     logical thread is abandoned while waiting out an in-flight committer,
+     the token must still be released. No yield point sits between the
+     winning CAS and the protect, so the token cannot leak. *)
+  serial_token_acquire ();
   Fun.protect ~finally:serial_release (fun () ->
+      serial_quiesce ();
       txn.serial <- true;
+      Dst.point Dst.Tm_gclock;
       txn.serial_wv <- Gclock.advance ();
       txn.active <- true;
       txn.rv <- txn.serial_wv;
@@ -571,6 +619,7 @@ let serial_run st f =
 
 let wait_serial_clear () =
   while serial_active () do
+    Dst.point Dst.Tm_wait_serial;
     Domain.cpu_relax ()
   done
 
@@ -585,8 +634,13 @@ let wait_serial_clear () =
    serial transactions get [wv_s > rv] and are caught by version checks. *)
 let rec sample_rv () =
   wait_serial_clear ();
+  Dst.point Dst.Tm_sample_rv;
   let rv = Gclock.sample () in
-  if serial_active () then sample_rv () else rv
+  (* Dst.Inject bug #1: dropping the re-check re-opens the serial-straddle
+     window this function exists to close (see DESIGN.md). *)
+  if serial_active () && not (Dst.Inject.bug Dst.Inject.Snapshot_straddle) then
+    sample_rv ()
+  else rv
 
 let cause_label = function
   | Read_invalid -> "read_invalid"
@@ -686,7 +740,10 @@ let atomic_stamped ?site ?max_attempts f =
                      escalate to the (irrevocable) serial mode. *)
                   (n, Backoff.Normal)
             in
-            Backoff.once ~hint st.backoff;
+            (* Under DST the backoff spin is dead time with no scheduling
+               value; a yield gives the explorer the same decision point. *)
+            if Dst.scheduled () then Dst.point Dst.Tm_backoff
+            else Backoff.once ~hint st.backoff;
             attempt next (total + 1)
         | exception e ->
             txn.active <- false;
@@ -700,7 +757,7 @@ let atomic_stamped ?site ?max_attempts f =
 let atomic ?site ?max_attempts f = (atomic_stamped ?site ?max_attempts f).value
 
 let current_txn () =
-  match Domain.DLS.get Thread.dls_key with
+  match Dst.Tls.get Thread.tls_key with
   | Some st when st.txn.active -> Some st.txn
   | _ -> None
 
@@ -708,6 +765,9 @@ let peek tv =
   let rec go () =
     let l1 = Atomic.get tv.lock in
     if locked l1 then begin
+      (* Under DST the lock holder is a paused logical thread; yield so it
+         can finish instead of spinning this domain forever. *)
+      Dst.point Dst.Tm_read;
       Domain.cpu_relax ();
       go ()
     end

@@ -73,6 +73,12 @@ module Thread : sig
   (** The calling domain's live statistics record (updated in place by
       {!atomic}; copy it before the domain finishes if it must outlive the
       run). *)
+
+  val reset_ids_for_testing : unit -> unit
+  (** Forget released ids and rewind the watermark so ids are handed out
+      deterministically from 0 again. Only for deterministic-schedule
+      tests; the caller must guarantee no registered thread is live
+      anywhere in the process. *)
 end
 
 val read : txn -> 'a tvar -> 'a

@@ -1,0 +1,158 @@
+(* The three DESIGN.md concurrency bugs as deterministic-schedule-testing
+   scenarios. Each builder re-arms the corresponding [Dst.Inject] flag (or
+   clears it, for the control/fixed variants) and constructs fresh state,
+   so every attempt of a search starts identically; the pinned schedules
+   are the minimized traces the seeded searches produced, committed as
+   regression inputs.
+
+   Shared between the alcotest suite (test_dst.ml) and the capped
+   [@dst-smoke] runner (dst_smoke.ml). *)
+
+open Structs
+
+(* ---- bug #1: serial-straddle torn snapshot ---- *)
+
+(* A writer forced straight into the serial-irrevocable fallback
+   ([max_attempts:0]) updates x then y; a reader snapshots both in one
+   transaction. If [sample_rv] does not re-check the serial token after
+   sampling the clock (the injected bug), the reader can sample the
+   already-bumped serial [wv], accept the writer's first direct write as
+   old enough, and commit the torn pair (1,0). *)
+let straddle ~bug () =
+  Dst.Inject.clear ();
+  Dst.Inject.set_bug Dst.Inject.Snapshot_straddle bug;
+  Tm.Thread.reset_ids_for_testing ();
+  let x = Tm.tvar 0 and y = Tm.tvar 0 in
+  let observed = ref (0, 0) in
+  let writer () =
+    Tm.Thread.with_registered (fun _ ->
+        Tm.atomic ~max_attempts:0 (fun txn ->
+            Tm.write txn x 1;
+            Tm.write txn y 1))
+  in
+  let reader () =
+    Tm.Thread.with_registered (fun _ ->
+        observed := Tm.atomic (fun txn -> (Tm.read txn x, Tm.read txn y)))
+  in
+  {
+    Dst.Explore.init = None;
+    threads = [ writer; reader ];
+    check =
+      (fun () ->
+        match !observed with
+        | (0, 0) | (1, 1) -> ()
+        | (a, b) -> failwith (Printf.sprintf "torn snapshot (%d,%d)" a b));
+  }
+
+(* ---- bug #2: read-only hazard publication race ---- *)
+
+(* TMHP list, window 1, immediate retire-scan. Thread A's hand-off
+   transaction is paused between deciding to reserve a node and storing
+   the hazard slot; thread B removes that node (retire + scan frees it:
+   nothing protects it yet) and recycles it as the tail key 5. Without
+   forced commit validation on the otherwise read-only reserving
+   transaction (the injected bug), A's hand-off commits against a stale
+   snapshot and A resumes its lookup of 4 from what is now the key-5
+   tail -- returning false for a key that was never removed. *)
+let ro_publication ~bug () =
+  Dst.Inject.clear ();
+  Dst.Inject.set_bug Dst.Inject.Ro_publication bug;
+  Tm.Thread.reset_ids_for_testing ();
+  let l =
+    Hoh_list.create ~mode:Mode.Tmhp ~window:1 ~scatter:false ~hp_threshold:1 ()
+  in
+  let looked = ref true and removed = ref false and inserted = ref false in
+  let init () =
+    Tm.Thread.with_registered (fun thread ->
+        List.iter (fun k -> ignore (Hoh_list.insert l ~thread k)) [ 1; 2; 3; 4 ])
+  in
+  let a () =
+    Tm.Thread.with_registered (fun thread ->
+        looked := Hoh_list.lookup l ~thread 4;
+        Hoh_list.finalize_thread l ~thread)
+  in
+  let b () =
+    Tm.Thread.with_registered (fun thread ->
+        removed := Hoh_list.remove l ~thread 2;
+        inserted := Hoh_list.insert l ~thread 5;
+        Hoh_list.finalize_thread l ~thread)
+  in
+  {
+    Dst.Explore.init = Some init;
+    threads = [ a; b ];
+    check =
+      (fun () ->
+        if not !removed then failwith "remove 2 failed";
+        if not !inserted then failwith "insert 5 failed";
+        if not !looked then failwith "lookup 4 = false (4 was never removed)";
+        (match Hoh_list.check l with Ok () -> () | Error e -> failwith e);
+        let got = Hoh_list.to_list l in
+        if got <> [ 1; 3; 4; 5 ] then
+          failwith ("contents " ^ String.concat ";" (List.map string_of_int got)));
+  }
+
+(* ---- bug #3: stale skiplist hint accepted after recycling ---- *)
+
+(* Precise RR-FA skiplist, window 1, seed 128 chosen so the prefill
+   towers are 10:1, 20:2, 30:1, 40:2 and the recycled node re-enters at
+   height 1. Thread A removes 40 and pauses at the hand-off holding a
+   reservation on 30, with preds[1] still pointing at node 20. Thread B
+   removes 20 (freed immediately: precise reclamation) and inserts 25,
+   which recycles the node under a new key and a shorter tower. A
+   resumes; checking only [deleted] on the hint (the injected bug)
+   accepts the recycled node as a level-1 predecessor and the level-1
+   unlink walks off the level-1 list entirely. *)
+let stale_hint ~bug () =
+  Dst.Inject.clear ();
+  Dst.Inject.set_bug Dst.Inject.Stale_hint bug;
+  Tm.Thread.reset_ids_for_testing ();
+  let sl =
+    Hoh_skiplist.create
+      ~mode:(Mode.Rr_kind (module Rr.Fa))
+      ~window:1 ~scatter:false ~seed:128 ()
+  in
+  let r40 = ref false and r20 = ref false and i25 = ref false in
+  let init () =
+    Tm.Thread.with_registered (fun thread ->
+        List.iter
+          (fun k -> ignore (Hoh_skiplist.insert sl ~thread k))
+          [ 10; 20; 30; 40 ])
+  in
+  let a () =
+    Tm.Thread.with_registered (fun thread ->
+        r40 := Hoh_skiplist.remove sl ~thread 40)
+  in
+  let b () =
+    Tm.Thread.with_registered (fun thread ->
+        r20 := Hoh_skiplist.remove sl ~thread 20;
+        i25 := Hoh_skiplist.insert sl ~thread 25)
+  in
+  {
+    Dst.Explore.init = Some init;
+    threads = [ a; b ];
+    check =
+      (fun () ->
+        if not (!r40 && !r20 && !i25) then failwith "an operation failed";
+        (match Hoh_skiplist.check sl with Ok () -> () | Error e -> failwith e);
+        let got = Hoh_skiplist.to_list sl in
+          if got <> [ 10; 25; 30 ] then
+            failwith
+              ("contents " ^ String.concat ";" (List.map string_of_int got)));
+  }
+
+(* ---- pinned minimized schedules and documented search budgets ---- *)
+
+(* bug #1, random search (budget 500, <= 2000 runs; found at seed 6 in 19
+   runs): reader pauses at the clock sample, writer runs its serial
+   commit past the first direct write, reader resumes. *)
+let sched_bug1 = [| 1; 0; 0; 1; 1 |]
+
+(* bug #2, PCT depth 2 (budget 300, <= 6000 runs; found at seed 18 in 79
+   runs): A walks to its second hand-off and pauses at the hazard
+   publication; B runs remove 2 + insert 5 to completion. *)
+let sched_bug2 = Array.concat [ Array.make 10 0; Array.make 42 1 ]
+
+(* bug #3, PCT depth 2 (budget 400, <= 6000 runs; found at seed 29 in 247
+   runs): A walks to the hand-off reserving node 30; B runs remove 20 +
+   insert 25 to completion; A's resumed level-1 unlink trips. *)
+let sched_bug3 = Array.concat [ Array.make 53 0; Array.make 124 1 ]

@@ -94,39 +94,88 @@ let print_ops ops =
          | L k -> Printf.sprintf "L%d" k)
        ops)
 
+(* Shrink both the op list (drop ops) and individual keys (toward 1), so
+   counterexamples come back as the shortest sequence over the smallest
+   keys that still disagrees with the model. *)
+let shrink_op op yield =
+  let key k mk = QCheck.Shrink.int k (fun k' -> if k' >= 1 then yield (mk k')) in
+  match op with
+  | I k -> key k (fun k -> I k)
+  | R k -> key k (fun k -> R k)
+  | L k -> key k (fun k -> L k)
+
+let shrink_ops = QCheck.Shrink.list ~shrink:shrink_op
+
+let arb_ops = QCheck.make ~print:print_ops ~shrink:shrink_ops gen_ops
+
+(* Drive a handle and a Hashtbl model through the same op sequence; true
+   iff every op agreed, the final contents match, and invariants hold. *)
+let agrees_with_model (h : Set_ops.handle) tid ops =
+  let model = Hashtbl.create 64 in
+  let ok =
+    List.for_all
+      (fun op ->
+        match op with
+        | I k ->
+            let expected = not (Hashtbl.mem model k) in
+            if expected then Hashtbl.replace model k ();
+            fst (h.Set_ops.insert ~thread:tid k) = expected
+        | R k ->
+            let expected = Hashtbl.mem model k in
+            if expected then Hashtbl.remove model k;
+            let r, _, _ = h.Set_ops.remove ~thread:tid k in
+            r = expected
+        | L k -> fst (h.Set_ops.lookup ~thread:tid k) = Hashtbl.mem model k)
+      ops
+  in
+  h.Set_ops.finalize_thread ~thread:tid;
+  h.Set_ops.drain ();
+  let contents = List.sort compare (h.Set_ops.contents ()) in
+  let model_contents =
+    List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) model [])
+  in
+  ok && contents = model_contents && h.Set_ops.check () = Ok ()
+
 let qcheck_sequential (family, f) =
   QCheck.Test.make
     ~name:(Printf.sprintf "%s/%s sequential model" family f.Factories.label)
-    ~count:60
-    (QCheck.make ~print:print_ops gen_ops)
+    ~count:60 arb_ops
     (fun ops ->
       Tm.Thread.with_registered (fun tid ->
-          let h = f.Factories.make () in
-          let model = Hashtbl.create 64 in
-          let ok =
-            List.for_all
-              (fun op ->
-                match op with
-                | I k ->
-                    let expected = not (Hashtbl.mem model k) in
-                    if expected then Hashtbl.replace model k ();
-                    fst (h.Set_ops.insert ~thread:tid k) = expected
-                | R k ->
-                    let expected = Hashtbl.mem model k in
-                    if expected then Hashtbl.remove model k;
-                    let r, _, _ = h.Set_ops.remove ~thread:tid k in
-                    r = expected
-                | L k ->
-                    fst (h.Set_ops.lookup ~thread:tid k) = Hashtbl.mem model k)
-              ops
-          in
-          h.Set_ops.finalize_thread ~thread:tid;
-          h.Set_ops.drain ();
-          let contents = List.sort compare (h.Set_ops.contents ()) in
-          let model_contents =
-            List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) model [])
-          in
-          ok && contents = model_contents && h.Set_ops.check () = Ok ()))
+          agrees_with_model (f.Factories.make ()) tid ops))
+
+(* Window-randomized variant: the hand-over-hand window is part of the
+   generated input (1..4, so the single-node window edge is exercised),
+   over the chained structures where the window governs hand-off
+   frequency — dlist, hashset, skiplist — for every RR flavour. The
+   window does not shrink: a short op list at the original window is the
+   more useful counterexample. *)
+let gen_windowed =
+  QCheck.Gen.(pair (map (fun w -> 1 + w) (int_bound 3)) gen_ops)
+
+let arb_windowed =
+  QCheck.make
+    ~print:(fun (w, ops) -> Printf.sprintf "window=%d [%s]" w (print_ops ops))
+    ~shrink:(QCheck.Shrink.pair QCheck.Shrink.nil shrink_ops)
+    gen_windowed
+
+let qcheck_windowed (family, structure, buckets) (kname, kind) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s/%s windowed model" family kname)
+    ~count:40 arb_windowed
+    (fun (window, ops) ->
+      Tm.Thread.with_registered (fun tid ->
+          let f = spec ~window ?buckets structure kind in
+          agrees_with_model (f.Factories.make ()) tid ops))
+
+let windowed_tests =
+  List.concat_map
+    (fun target -> List.map (qcheck_windowed target) rr_kinds)
+    [
+      ("dlist", Spec.Dlist, None);
+      ("hashset", Spec.Hashset, Some 4);
+      ("skiplist", Spec.Skiplist, None);
+    ]
 
 (* ---- targeted unit tests ---- *)
 
@@ -560,4 +609,6 @@ let () =
         List.map
           (fun x -> QCheck_alcotest.to_alcotest (qcheck_sequential x))
           all_factories );
+      ( "windowed-properties",
+        List.map QCheck_alcotest.to_alcotest windowed_tests );
     ]
