@@ -32,6 +32,7 @@ type config = {
   kind : Structs.Mode.kind;
   lookup_pct : int;
   key_bits : int;
+  adaptive : bool;  (** contention-adaptive window controller *)
 }
 
 let structure_key_bits = function
@@ -40,19 +41,23 @@ let structure_key_bits = function
   | Spec.Skiplist -> 10
   | Spec.Hashset -> 10
 
-let sweep_configs ~structures ~kinds ~mixes =
+let sweep_configs ?(adaptives = [ false ]) ~structures ~kinds ~mixes () =
   List.concat_map
     (fun structure ->
       List.concat_map
         (fun (_, kind) ->
-          List.map
+          List.concat_map
             (fun lookup_pct ->
-              {
-                structure;
-                kind;
-                lookup_pct;
-                key_bits = structure_key_bits structure;
-              })
+              List.map
+                (fun adaptive ->
+                  {
+                    structure;
+                    kind;
+                    lookup_pct;
+                    key_bits = structure_key_bits structure;
+                    adaptive;
+                  })
+                adaptives)
             mixes)
         kinds)
     structures
@@ -60,7 +65,8 @@ let sweep_configs ~structures ~kinds ~mixes =
 let run_point p (c : config) ~ops_per_thread ~threads =
   let window = Factories.best_window ~threads in
   let handle =
-    (Factories.make (Spec.v ~window c.structure c.kind)).Factories.make ()
+    (Factories.make (Spec.v ~window ~adaptive:c.adaptive c.structure c.kind))
+      .Factories.make ()
   in
   let spec =
     Workload.spec ~key_bits:c.key_bits ~lookup_pct:c.lookup_pct ~threads
@@ -86,6 +92,8 @@ let run_point p (c : config) ~ops_per_thread ~threads =
       ("aborts", Json.Int (Tm.Stats.total_aborts tm));
       ("abort_rate", Json.Float (Driver.abort_rate r));
       ("fallbacks", Json.Int (Tm.Stats.fallbacks tm));
+      ("extensions", Json.Int (Tm.Stats.extensions tm));
+      ("ext_fails", Json.Int (Tm.Stats.ext_fails tm));
       ("verified", Json.Bool (r.Driver.verdict = Ok ()));
     ]
 
@@ -95,10 +103,11 @@ let run_config p c ~ops_per_thread =
       (fun threads -> run_point p c ~ops_per_thread ~threads)
       p.threads_list
   in
-  Printf.printf "%-9s %-6s %3d%% lookups :%s\n%!"
+  Printf.printf "%-9s %-6s %3d%% lookups%s:%s\n%!"
     (Spec.structure_name c.structure)
     (Structs.Mode.kind_name c.kind)
     c.lookup_pct
+    (if c.adaptive then " adaptive " else " ")
     (String.concat ""
        (List.map2
           (fun threads pt ->
@@ -115,6 +124,7 @@ let run_config p c ~ops_per_thread =
       ("kind", Json.String (Structs.Mode.kind_name c.kind));
       ("lookup_pct", Json.Int c.lookup_pct);
       ("key_bits", Json.Int c.key_bits);
+      ("adaptive", Json.Bool c.adaptive);
       ("ops_per_thread", Json.Int ops_per_thread);
       ("points", Json.List points);
     ]
@@ -160,6 +170,7 @@ let validate js =
       let* _ = field "kind" Json.to_string_opt c in
       let* _ = field "lookup_pct" Json.to_int c in
       let* _ = field "key_bits" Json.to_int c in
+      let* _ = field "adaptive" Json.to_bool c in
       let* _ = field "ops_per_thread" Json.to_int c in
       let* points = field "points" Json.to_list c in
       let* () = if points = [] then err "config with no points" else Ok () in
@@ -176,6 +187,10 @@ let validate js =
           in
           let* _ = field "aborts" Json.to_int pt in
           let* _ = field "fallbacks" Json.to_int pt in
+          let* ext = field "extensions" Json.to_int pt in
+          let* () = if ext >= 0 then Ok () else err "negative extensions" in
+          let* ef = field "ext_fails" Json.to_int pt in
+          let* () = if ef >= 0 then Ok () else err "negative ext_fails" in
           Ok ())
         (Ok ()) points)
     (Ok ()) configs
@@ -186,8 +201,9 @@ let run p =
   let ops_per_thread = if p.quick then 2_000 else 20_000 in
   let configs =
     sweep_configs
+      ~adaptives:[ false; true ]
       ~structures:[ Spec.Slist; Spec.Bst_int; Spec.Skiplist ]
-      ~kinds:Factories.rr_kinds ~mixes:[ 33; 80 ]
+      ~kinds:Factories.rr_kinds ~mixes:[ 33; 80 ] ()
   in
   Printf.printf
     "scaling sweep: %d configs x threads {%s}, %d ops/thread -> %s\n%!"
@@ -214,13 +230,15 @@ let smoke () =
     }
   in
   let configs =
-    sweep_configs ~structures:[ Spec.Slist ]
+    sweep_configs
+      ~adaptives:[ false; true ]
+      ~structures:[ Spec.Slist ]
       ~kinds:
         [
           ("RR-V", Structs.Mode.Rr_kind (module Rr.V));
           ("RR-XO", Structs.Mode.Rr_kind (module Rr.Xo));
         ]
-      ~mixes:[ 33 ]
+      ~mixes:[ 33 ] ()
   in
   let js = report p ~mode:"smoke" ~configs ~ops_per_thread:300 in
   write_report ~out:p.out js;

@@ -1,10 +1,78 @@
 type ('r, 'a) outcome = Finish of 'a | Hand_off of 'r
 
-let run ~rr ?site ?max_attempts step =
+(* Per-thread window budgets. Static mode is the paper's fixed W with the
+   scatter optimization for first windows. Adaptive mode replaces the fixed
+   W with a per-thread controller: the budget grows multiplicatively after
+   a window that committed without contention and shrinks multiplicatively
+   after one that paid contention aborts (read-validation, lock-busy or
+   serial-pending — user retries are the operation's own business), so hot
+   traversals converge on the largest window the current conflict rate
+   sustains instead of a compile-time guess. *)
+module Window = struct
+  type t = {
+    w : int;
+    scatter : bool;
+    seeds : int array;
+    adaptive : bool;
+    w_min : int;
+    w_max : int;
+    cur : int array;  (* per-thread live budget; owner-written only *)
+  }
+
+  let create ?(scatter = true) ?(adaptive = false) w =
+    if w < 1 then invalid_arg "Hoh.Window.create: w < 1";
+    {
+      w;
+      scatter;
+      seeds = Array.init Tm.Thread.max_threads (fun i -> (i * 7919) + 17);
+      adaptive;
+      w_min = 1;
+      w_max = 4 * w;
+      cur = Array.make Tm.Thread.max_threads w;
+    }
+
+  let size t = t.w
+  let adaptive t = t.adaptive
+  let budget t ~thread = if t.adaptive then t.cur.(thread) else t.w
+
+  let record t ~thread ~contended =
+    if t.adaptive then begin
+      let c = t.cur.(thread) in
+      t.cur.(thread) <-
+        (if contended then max t.w_min (c / 2) else min t.w_max (2 * c))
+    end
+
+  let first_budget t ~thread =
+    let b = budget t ~thread in
+    if not t.scatter then b
+    else begin
+      let s = t.seeds.(thread) in
+      let s = s lxor (s lsl 13) in
+      let s = s lxor (s lsr 7) in
+      let s = s lxor (s lsl 17) in
+      t.seeds.(thread) <- s;
+      1 + (s land max_int) mod b
+    end
+end
+
+let[@inline] contention_aborts s =
+  Tm.Stats.aborts_read s + Tm.Stats.aborts_lock s + Tm.Stats.aborts_serial s
+
+let run ~rr ?site ?max_attempts ?(read_phase = false) ?window step =
   let reserved = ref None in
+  (* The controller's feedback signal: the delta of this thread's
+     contention-abort counters across the window transaction, plus whether
+     it had to commit serially. Counters are thread-private, so the delta
+     attributes exactly this window's aborts. *)
+  let stats =
+    match window with
+    | Some (w, _) when Window.adaptive w -> Some (Tm.Thread.stats ())
+    | _ -> None
+  in
   let rec loop () =
+    let c0 = match stats with Some s -> contention_aborts s | None -> 0 in
     let res =
-      Tm.atomic_stamped ?site ?max_attempts (fun txn ->
+      Tm.atomic_stamped ?site ?max_attempts ~read_phase (fun txn ->
           rr.Rr_intf.register txn;
           let start =
             match !reserved with
@@ -20,6 +88,11 @@ let run ~rr ?site ?max_attempts step =
               rr.Rr_intf.reserve txn r;
               Hand_off r)
     in
+    (match (window, stats) with
+    | Some (w, thread), Some s ->
+        Window.record w ~thread
+          ~contended:(res.Tm.serial || contention_aborts s > c0)
+    | _ -> ());
     match res.Tm.value with
     | Finish v ->
         reserved := None;
@@ -34,30 +107,8 @@ let run ~rr ?site ?max_attempts step =
   in
   loop ()
 
-let apply ~rr ?site ?max_attempts step = fst (run ~rr ?site ?max_attempts step)
-let apply_stamped ~rr ?site ?max_attempts step = run ~rr ?site ?max_attempts step
+let apply ~rr ?site ?max_attempts ?read_phase ?window step =
+  fst (run ~rr ?site ?max_attempts ?read_phase ?window step)
 
-module Window = struct
-  type t = { w : int; scatter : bool; seeds : int array }
-
-  let create ?(scatter = true) w =
-    if w < 1 then invalid_arg "Hoh.Window.create: w < 1";
-    {
-      w;
-      scatter;
-      seeds = Array.init Tm.Thread.max_threads (fun i -> (i * 7919) + 17);
-    }
-
-  let size t = t.w
-
-  let first_budget t ~thread =
-    if not t.scatter then t.w
-    else begin
-      let s = t.seeds.(thread) in
-      let s = s lxor (s lsl 13) in
-      let s = s lxor (s lsr 7) in
-      let s = s lxor (s lsl 17) in
-      t.seeds.(thread) <- s;
-      1 + (s land max_int) mod t.w
-    end
-end
+let apply_stamped ~rr ?site ?max_attempts ?read_phase ?window step =
+  run ~rr ?site ?max_attempts ?read_phase ?window step

@@ -15,10 +15,50 @@ type ('r, 'a) outcome =
   | Hand_off of 'r
       (** commit this window, reserving the given node as the next start *)
 
+(** Per-thread window budgets with the paper's [scatter] optimization: the
+    first window of an operation spans a random 1..W nodes so that threads
+    starting together do not all try to reserve the same node; subsequent
+    windows span exactly W.
+
+    With [adaptive] set, the static W becomes a per-thread controller that
+    MIMD-adjusts the live budget from contention feedback: a window that
+    commits without contention aborts doubles it (up to [4 * w]); one that
+    pays read-validation / lock-busy / serial-pending aborts, or commits
+    serially, halves it (down to 1). The feedback is recorded by
+    {!apply} when the window is passed to it. *)
+module Window : sig
+  type t
+
+  val create : ?scatter:bool -> ?adaptive:bool -> int -> t
+  (** [create w] with [w >= 1]; [scatter] defaults to [true], [adaptive]
+      to [false]. [w] is the static budget, and the adaptive controller's
+      starting point and quarter-ceiling. *)
+
+  val size : t -> int
+  (** The static [w], regardless of adaptation. *)
+
+  val adaptive : t -> bool
+
+  val budget : t -> thread:int -> int
+  (** The live budget for a continuation window: [thread]'s adapted value,
+      or [w] when not adaptive. *)
+
+  val record : t -> thread:int -> contended:bool -> unit
+  (** Feed one committed window's outcome to [thread]'s controller; no-op
+      when not adaptive. *)
+
+  val first_budget : t -> thread:int -> int
+  (** Budget for an operation's first window: uniform in [1..budget] when
+      scattering, else [budget]. Uses a per-thread generator, so it is
+      safe to call concurrently. *)
+end
+
 val apply :
   rr:'r Rr_intf.ops ->
   ?site:string ->
   ?max_attempts:int ->
+  ?read_phase:bool ->
+  ?window:Window.t * int ->
   (Tm.txn -> start:'r option -> ('r, 'a) outcome) ->
   'a
 (** [apply ~rr step] runs [step] in successive transactions until it
@@ -28,32 +68,24 @@ val apply :
     beginning of the structure.
 
     [site] is forwarded to {!Tm.atomic} as the telemetry attribution label
-    for every window transaction of this operation. *)
+    for every window transaction of this operation, and [read_phase] as
+    the pure-traversal hint (locked reads wait instead of aborting; no
+    serial escalation — see {!Tm.atomic}).
+
+    [window] is [(w, thread)]: when [w] is adaptive, every window
+    transaction's contention outcome is fed back to [thread]'s budget
+    controller via {!Window.record}. The step callback still chooses its
+    own budgets (via {!Window.budget} / {!Window.first_budget}); passing
+    [window] only closes the feedback loop. *)
 
 val apply_stamped :
   rr:'r Rr_intf.ops ->
   ?site:string ->
   ?max_attempts:int ->
+  ?read_phase:bool ->
+  ?window:Window.t * int ->
   (Tm.txn -> start:'r option -> ('r, 'a) outcome) ->
   'a * int
 (** Like {!apply} but also returns the commit stamp of the {e final}
     transaction — the operation's linearization point, used by the
     serialization checker. *)
-
-(** Per-thread window budgets with the paper's [scatter] optimization: the
-    first window of an operation spans a random 1..W nodes so that threads
-    starting together do not all try to reserve the same node; subsequent
-    windows span exactly W. *)
-module Window : sig
-  type t
-
-  val create : ?scatter:bool -> int -> t
-  (** [create w] with [w >= 1]; [scatter] defaults to [true]. *)
-
-  val size : t -> int
-
-  val first_budget : t -> thread:int -> int
-  (** Budget for an operation's first window: uniform in [1..W] when
-      scattering, else [W]. Uses a per-thread generator, so it is safe to
-      call concurrently. *)
-end

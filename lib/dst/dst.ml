@@ -5,6 +5,7 @@ type site =
   | Tm_commit
   | Tm_lock
   | Tm_gclock
+  | Tm_extend
   | Tm_validate
   | Tm_publish
   | Tm_serial_token
@@ -34,6 +35,7 @@ let site_name = function
   | Tm_commit -> "tm.commit"
   | Tm_lock -> "tm.lock"
   | Tm_gclock -> "tm.gclock"
+  | Tm_extend -> "tm.extend"
   | Tm_validate -> "tm.validate"
   | Tm_publish -> "tm.publish"
   | Tm_serial_token -> "tm.serial_token"

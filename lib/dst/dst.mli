@@ -20,6 +20,10 @@ type site =
   | Tm_commit  (** commit entry, before the committing flag is raised *)
   | Tm_lock  (** before each write-set lock acquisition *)
   | Tm_gclock  (** before the commit-time global-clock bump *)
+  | Tm_extend
+      (** before a timestamp-extension attempt (a stale read about to
+          resample the clock and revalidate; an {!Inject.Fail} arm here
+          forces the extension to fail) *)
   | Tm_validate  (** before read-set validation *)
   | Tm_publish  (** before each write-back of a buffered value *)
   | Tm_serial_token  (** serial-token CAS loop *)

@@ -13,11 +13,30 @@ type result = {
   telemetry : Telemetry.Report.t option;
 }
 
-let barrier_wait counter =
-  Atomic.decr counter;
-  while Atomic.get counter > 0 do
+(* Two-phase start barrier. A single shared countdown would let workers
+   start operating as soon as the last arrival decrements it — including
+   while the main domain is still descheduled and has yet to sample t0, so
+   on an oversubscribed box the timed window could miss an arbitrary chunk
+   of the run (the 1-thread smoke point used to report hundreds of Mops/s
+   this way). Instead workers check in and then spin on a flag that main
+   sets only after it has observed full attendance and taken t0: no
+   operation can begin before the clock is running. *)
+type barrier = { ready : int Atomic.t; go : bool Atomic.t }
+
+let barrier_make n = { ready = Atomic.make n; go = Atomic.make false }
+
+let barrier_arrive b =
+  Atomic.decr b.ready;
+  while not (Atomic.get b.go) do
     Domain.cpu_relax ()
   done
+
+let barrier_await_ready b =
+  while Atomic.get b.ready > 0 do
+    Domain.cpu_relax ()
+  done
+
+let barrier_release b = Atomic.set b.go true
 
 type worker_out = {
   log : Serial_check.logged array;
@@ -42,7 +61,7 @@ let worker ~spec ~handle ~verify ~barrier d () =
       let log = if verify then Array.make n dummy_log else [||] in
       let ins = ref 0 and rem = ref 0 in
       Tm.Stats.reset (Tm.Thread.stats ());
-      barrier_wait barrier;
+      barrier_arrive barrier;
       for i = 0 to n - 1 do
         let op, key = Workload.next_op rng spec in
         let result, earliest, stamp =
@@ -81,15 +100,18 @@ let run ?(verify = true) spec handle =
   (* Start the measurement window after prefill so the report reflects the
      contended phase only. Gauges are cumulative and keep their registry. *)
   if Telemetry.enabled () then Telemetry.reset_slots ();
-  let barrier = Atomic.make (spec.Workload.threads + 1) in
+  let barrier = barrier_make spec.Workload.threads in
   let domains =
     List.init spec.Workload.threads (fun d ->
         Domain.spawn (worker ~spec ~handle ~verify ~barrier d))
   in
-  barrier_wait barrier;
+  barrier_await_ready barrier;
   (* Monotonic, not wall, time: an NTP step mid-run would corrupt the
-     throughput denominator. *)
+     throughput denominator. t0 is taken after every worker has checked in
+     and before any is released, so the window covers exactly the op
+     loops. *)
   let t0 = Telemetry.now_ns () in
+  barrier_release barrier;
   let outs = List.map Domain.join domains in
   let elapsed = float_of_int (Telemetry.now_ns () - t0) /. 1e9 in
   handle.Set_ops.drain ();

@@ -13,6 +13,7 @@ module Spec = struct
     kind : Structs.Mode.kind;
     window : int option;
     scatter : bool option;
+    adaptive : bool option;
     strategy : Mempool.strategy option;
     rr_config : Rr.Config.t option;
     max_attempts : int option;
@@ -20,8 +21,8 @@ module Spec = struct
     split_unlink : bool option;
   }
 
-  let v ?window ?scatter ?strategy ?rr_config ?max_attempts ?buckets
-      ?split_unlink structure kind =
+  let v ?window ?scatter ?adaptive ?strategy ?rr_config ?max_attempts
+      ?buckets ?split_unlink structure kind =
     (match buckets with
     | Some _ when structure <> Hashset ->
         invalid_arg "Factories.Spec.v: buckets only applies to Hashset"
@@ -35,6 +36,7 @@ module Spec = struct
       kind;
       window;
       scatter;
+      adaptive;
       strategy;
       rr_config;
       max_attempts;
@@ -59,34 +61,34 @@ module Spec = struct
 end
 
 let make (s : Spec.t) =
-  let { Spec.structure; kind; window; scatter; strategy; rr_config;
+  let { Spec.structure; kind; window; scatter; adaptive; strategy; rr_config;
         max_attempts; buckets; split_unlink } = s in
   let build () =
     match structure with
     | Spec.Slist ->
         Set_ops.of_hoh_list
-          (Structs.Hoh_list.create ~mode:kind ?window ?scatter ?strategy
-             ?rr_config ?max_attempts ())
+          (Structs.Hoh_list.create ~mode:kind ?window ?scatter ?adaptive
+             ?strategy ?rr_config ?max_attempts ())
     | Spec.Dlist ->
         Set_ops.of_hoh_dlist
-          (Structs.Hoh_dlist.create ~mode:kind ?window ?scatter ?strategy
-             ?rr_config ?max_attempts ?split_unlink ())
+          (Structs.Hoh_dlist.create ~mode:kind ?window ?scatter ?adaptive
+             ?strategy ?rr_config ?max_attempts ?split_unlink ())
     | Spec.Bst_int ->
         Set_ops.of_bst_int
-          (Structs.Hoh_bst_int.create ~mode:kind ?window ?scatter ?strategy
-             ?rr_config ?max_attempts ())
+          (Structs.Hoh_bst_int.create ~mode:kind ?window ?scatter ?adaptive
+             ?strategy ?rr_config ?max_attempts ())
     | Spec.Bst_ext ->
         Set_ops.of_bst_ext
-          (Structs.Hoh_bst_ext.create ~mode:kind ?window ?scatter ?strategy
-             ?rr_config ?max_attempts ())
+          (Structs.Hoh_bst_ext.create ~mode:kind ?window ?scatter ?adaptive
+             ?strategy ?rr_config ?max_attempts ())
     | Spec.Hashset ->
         Set_ops.of_hashset
           (Structs.Hoh_hashset.create ~mode:kind ?buckets ?window ?scatter
-             ?strategy ?rr_config ?max_attempts ())
+             ?adaptive ?strategy ?rr_config ?max_attempts ())
     | Spec.Skiplist ->
         Set_ops.of_skiplist
-          (Structs.Hoh_skiplist.create ~mode:kind ?window ?scatter ?strategy
-             ?rr_config ?max_attempts ())
+          (Structs.Hoh_skiplist.create ~mode:kind ?window ?scatter ?adaptive
+             ?strategy ?rr_config ?max_attempts ())
   in
   { label = Spec.label s; make = build }
 

@@ -20,6 +20,9 @@ module Spec : sig
     kind : Structs.Mode.kind;
     window : int option;  (** hand-over-hand window budget *)
     scatter : bool option;  (** scatter window boundaries across threads *)
+    adaptive : bool option;
+        (** contention-adaptive per-thread window controller
+            ({!Rr.Hoh.Window}); [window] is its starting budget *)
     strategy : Mempool.strategy option;
     rr_config : Rr.Config.t option;
     max_attempts : int option;  (** TM attempts before serial fallback *)
@@ -30,6 +33,7 @@ module Spec : sig
   val v :
     ?window:int ->
     ?scatter:bool ->
+    ?adaptive:bool ->
     ?strategy:Mempool.strategy ->
     ?rr_config:Rr.Config.t ->
     ?max_attempts:int ->

@@ -8,8 +8,8 @@ type t = {
   max_attempts : int option;
 }
 
-let create ~mode ?(window = 16) ?(scatter = true) ?strategy ?rr_config
-    ?hp_threshold ?(max_attempts = 8) () =
+let create ~mode ?(window = 16) ?(scatter = true) ?adaptive ?strategy
+    ?rr_config ?hp_threshold ?(max_attempts = 8) () =
   (match mode with
   | Mode.Ref -> invalid_arg "Hoh_bst_ext: Ref mode is not supported"
   | Mode.Rr_kind _ | Mode.Htm | Mode.Tmhp | Mode.Ebr -> ());
@@ -24,7 +24,7 @@ let create ~mode ?(window = 16) ?(scatter = true) ?strategy ?rr_config
   {
     mode;
     root = Tnode.sentinel ~key:max_int;
-    window = Window.create ~scatter window;
+    window = Window.create ~scatter ?adaptive window;
     pool;
     max_attempts = Some max_attempts;
   }
@@ -51,7 +51,7 @@ let descend txn ~key ~start ~budget =
 
 let start_point t ~thread ~start =
   match start with
-  | Some n -> (n, Window.size t.window)
+  | Some n -> (n, Window.budget t.window ~thread)
   | None ->
       ( t.root,
         if t.mode.Mode.whole_op then max_int
@@ -59,10 +59,12 @@ let start_point t ~thread ~start =
 
 (* [on_leaf txn ~gp ~p ~leaf] with [p]/[gp] as available; [p = None] only
    when the tree is empty ([leaf] is then the root sentinel). *)
-let apply t ~thread key ~site ~on_leaf =
+let apply t ~thread ?(read_phase = false) key ~site ~on_leaf =
   if key <= min_int + 1 || key >= max_int - 1 then
     invalid_arg "Hoh_bst_ext: key out of range";
   Rr.Hoh.apply_stamped ~rr:t.mode.Mode.ops ~site ?max_attempts:t.max_attempts
+    ~read_phase
+    ~window:(t.window, thread)
     (fun txn ~start ->
       let start, budget = start_point t ~thread ~start in
       match descend txn ~key ~start ~budget with
@@ -70,7 +72,8 @@ let apply t ~thread key ~site ~on_leaf =
       | `Window c -> Rr.Hoh.Hand_off c)
 
 let lookup_s t ~thread key =
-  apply t ~thread key ~site:"bst_ext.lookup" ~on_leaf:(fun txn ~gp:_ ~p:_ ~leaf ->
+  apply t ~thread ~read_phase:t.mode.Mode.ro_hint key ~site:"bst_ext.lookup"
+    ~on_leaf:(fun txn ~gp:_ ~p:_ ~leaf ->
       Rr.Hoh.Finish
         (Tnode.equal leaf t.root = false && Tm.read txn leaf.Tnode.key = key))
 

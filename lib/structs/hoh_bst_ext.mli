@@ -16,6 +16,7 @@ val create :
   mode:Mode.kind ->
   ?window:int ->
   ?scatter:bool ->
+  ?adaptive:bool ->
   ?strategy:Mempool.strategy ->
   ?rr_config:Rr.Config.t ->
   ?hp_threshold:int ->

@@ -8,8 +8,8 @@ type t = {
   max_attempts : int option;
 }
 
-let create ~mode ?(window = 16) ?(scatter = true) ?strategy ?rr_config
-    ?(max_attempts = 8) () =
+let create ~mode ?(window = 16) ?(scatter = true) ?adaptive ?strategy
+    ?rr_config ?(max_attempts = 8) () =
   (match mode with
   | Mode.Tmhp | Mode.Ref | Mode.Ebr ->
       invalid_arg "Hoh_bst_int: only Rr_kind and Htm modes are supported"
@@ -25,7 +25,7 @@ let create ~mode ?(window = 16) ?(scatter = true) ?strategy ?rr_config
   {
     mode;
     root = Tnode.sentinel ~key:max_int;
-    window = Window.create ~scatter window;
+    window = Window.create ~scatter ?adaptive window;
     pool;
     max_attempts = Some max_attempts;
   }
@@ -57,16 +57,18 @@ let descend txn ~key ~start ~budget =
 
 let start_point t ~thread ~start =
   match start with
-  | Some n -> (n, Window.size t.window)
+  | Some n -> (n, Window.budget t.window ~thread)
   | None ->
       ( t.root,
         if t.mode.Mode.whole_op then max_int
         else Window.first_budget t.window ~thread )
 
-let apply t ~thread key ~site ~on_found ~on_notfound =
+let apply t ~thread ?(read_phase = false) key ~site ~on_found ~on_notfound =
   if key <= min_int + 1 || key >= max_int then
     invalid_arg "Hoh_bst_int: key out of range";
   Rr.Hoh.apply_stamped ~rr:t.mode.Mode.ops ~site ?max_attempts:t.max_attempts
+    ~read_phase
+    ~window:(t.window, thread)
     (fun txn ~start ->
       let start, budget = start_point t ~thread ~start in
       let outcome =
@@ -84,7 +86,7 @@ let apply t ~thread key ~site ~on_found ~on_notfound =
       | `Found_unparented -> assert false (* root descent always has parents *))
 
 let lookup_s t ~thread key =
-  apply t ~thread key ~site:"bst_int.lookup"
+  apply t ~thread ~read_phase:t.mode.Mode.ro_hint key ~site:"bst_int.lookup"
     ~on_found:(fun _ ~parent:_ ~curr:_ -> true)
     ~on_notfound:(fun _ ~parent:_ ~side:_ -> false)
 

@@ -22,6 +22,7 @@ val create :
   mode:Mode.kind ->
   ?window:int ->
   ?scatter:bool ->
+  ?adaptive:bool ->
   ?strategy:Mempool.strategy ->
   ?rr_config:Rr.Config.t ->
   ?max_attempts:int ->

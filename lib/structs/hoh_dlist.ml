@@ -9,8 +9,8 @@ type t = {
   split_unlink : bool;
 }
 
-let create ~mode ?(window = 8) ?(scatter = true) ?strategy ?rr_config
-    ?hp_threshold ?max_attempts ?(split_unlink = true) () =
+let create ~mode ?(window = 8) ?(scatter = true) ?adaptive ?strategy
+    ?rr_config ?hp_threshold ?max_attempts ?(split_unlink = true) () =
   let pool = Lnode.make_pool ?strategy () in
   let mode =
     Mode.create mode ~pool
@@ -22,7 +22,7 @@ let create ~mode ?(window = 8) ?(scatter = true) ?strategy ?rr_config
   {
     mode;
     head = Lnode.sentinel ();
-    window = Window.create ~scatter window;
+    window = Window.create ~scatter ?adaptive window;
     pool;
     max_attempts;
     split_unlink;
@@ -32,15 +32,17 @@ let name t = t.mode.Mode.name
 
 let start_point t ~thread ~start =
   match start with
-  | Some n -> (n, Window.size t.window)
+  | Some n -> (n, Window.budget t.window ~thread)
   | None ->
       ( t.head,
         if t.mode.Mode.whole_op then max_int
         else Window.first_budget t.window ~thread )
 
-let apply t ~thread key ~site ~on_found ~on_notfound =
+let apply t ~thread ?(read_phase = false) key ~site ~on_found ~on_notfound =
   if key <= min_int + 1 then invalid_arg "Hoh_dlist: key out of range";
   Rr.Hoh.apply_stamped ~rr:t.mode.Mode.ops ~site ?max_attempts:t.max_attempts
+    ~read_phase
+    ~window:(t.window, thread)
     (fun txn ~start ->
       let prev, budget = start_point t ~thread ~start in
       match List_walk.walk txn ~key ~prev ~budget with
@@ -49,7 +51,7 @@ let apply t ~thread key ~site ~on_found ~on_notfound =
       | `Window c -> Rr.Hoh.Hand_off c)
 
 let lookup_s t ~thread key =
-  apply t ~thread key ~site:"dlist.lookup"
+  apply t ~thread ~read_phase:t.mode.Mode.ro_hint key ~site:"dlist.lookup"
     ~on_found:(fun _ ~prev:_ ~curr:_ -> Rr.Hoh.Finish true)
     ~on_notfound:(fun _ ~prev:_ ~curr:_ -> false)
 
@@ -113,6 +115,7 @@ let remove_s t ~thread key =
   let result, stamp =
     Rr.Hoh.apply_stamped ~rr:t.mode.Mode.ops ~site:"dlist.remove"
       ?max_attempts:t.max_attempts
+      ~window:(t.window, thread)
       (fun txn ~start ->
         let traverse ~start =
           let prev, budget = start_point t ~thread ~start in

@@ -8,8 +8,8 @@ type t = {
   max_attempts : int option;
 }
 
-let create ~mode ?(buckets = 64) ?(window = 8) ?(scatter = true) ?strategy
-    ?rr_config ?hp_threshold ?max_attempts () =
+let create ~mode ?(buckets = 64) ?(window = 8) ?(scatter = true) ?adaptive
+    ?strategy ?rr_config ?hp_threshold ?max_attempts () =
   if buckets < 1 then invalid_arg "Hoh_hashset.create: buckets < 1";
   let pool = Lnode.make_pool ?strategy () in
   let mode =
@@ -22,7 +22,7 @@ let create ~mode ?(buckets = 64) ?(window = 8) ?(scatter = true) ?strategy
   {
     mode;
     heads = Array.init buckets (fun _ -> Lnode.sentinel ());
-    window = Window.create ~scatter window;
+    window = Window.create ~scatter ?adaptive window;
     pool;
     max_attempts;
   }
@@ -35,14 +35,16 @@ let bucket_of t key =
 
 (* The per-bucket Apply is Listing 5 verbatim, with the bucket's sentinel
    in place of the global list head. *)
-let apply t ~thread key ~site ~on_found ~on_notfound =
+let apply t ~thread ?(read_phase = false) key ~site ~on_found ~on_notfound =
   if key <= min_int + 1 then invalid_arg "Hoh_hashset: key out of range";
   let head = bucket_of t key in
   Rr.Hoh.apply_stamped ~rr:t.mode.Mode.ops ~site ?max_attempts:t.max_attempts
+    ~read_phase
+    ~window:(t.window, thread)
     (fun txn ~start ->
       let prev, budget =
         match start with
-        | Some n -> (n, Window.size t.window)
+        | Some n -> (n, Window.budget t.window ~thread)
         | None ->
             ( head,
               if t.mode.Mode.whole_op then max_int
@@ -54,7 +56,7 @@ let apply t ~thread key ~site ~on_found ~on_notfound =
       | `Window c -> Rr.Hoh.Hand_off c)
 
 let lookup_s t ~thread key =
-  apply t ~thread key ~site:"hashset.lookup"
+  apply t ~thread ~read_phase:t.mode.Mode.ro_hint key ~site:"hashset.lookup"
     ~on_found:(fun _ ~prev:_ ~curr:_ -> true)
     ~on_notfound:(fun _ ~prev:_ ~curr:_ -> false)
 

@@ -17,6 +17,7 @@ val create :
   ?buckets:int ->
   ?window:int ->
   ?scatter:bool ->
+  ?adaptive:bool ->
   ?strategy:Mempool.strategy ->
   ?rr_config:Rr.Config.t ->
   ?hp_threshold:int ->

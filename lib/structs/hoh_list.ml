@@ -8,8 +8,8 @@ type t = {
   max_attempts : int option;
 }
 
-let create ~mode ?(window = 8) ?(scatter = true) ?strategy ?rr_config
-    ?hp_threshold ?max_attempts () =
+let create ~mode ?(window = 8) ?(scatter = true) ?adaptive ?strategy
+    ?rr_config ?hp_threshold ?max_attempts () =
   let pool = Lnode.make_pool ?strategy () in
   let mode =
     Mode.create mode ~pool
@@ -18,8 +18,8 @@ let create ~mode ?(window = 8) ?(scatter = true) ?strategy ?rr_config
       ~gen:(fun n -> Atomic.get n.Lnode.gen)
       ~hash:Lnode.hash ~equal:Lnode.equal ?rr_config ?hp_threshold ()
   in
-  { mode; head = Lnode.sentinel (); window = Window.create ~scatter window;
-    pool; max_attempts }
+  { mode; head = Lnode.sentinel ();
+    window = Window.create ~scatter ?adaptive window; pool; max_attempts }
 
 let name t = t.mode.Mode.name
 let window_size t = Window.size t.window
@@ -27,13 +27,15 @@ let window_size t = Window.size t.window
 (* The [Apply] function of Listing 5. [on_found txn ~prev ~curr] runs when a
    node with the key is found; [on_notfound txn ~prev ~curr] when the key is
    absent ([curr] is the first node past it, or [None] at the tail). *)
-let apply t ~thread key ~site ~on_found ~on_notfound =
+let apply t ~thread ?(read_phase = false) key ~site ~on_found ~on_notfound =
   if key <= min_int + 1 then invalid_arg "Hoh_list: key out of range";
   Rr.Hoh.apply_stamped ~rr:t.mode.Mode.ops ~site ?max_attempts:t.max_attempts
+    ~read_phase
+    ~window:(t.window, thread)
     (fun txn ~start ->
       let prev, budget =
         match start with
-        | Some n -> (n, Window.size t.window)
+        | Some n -> (n, Window.budget t.window ~thread)
         | None ->
             ( t.head,
               if t.mode.Mode.whole_op then max_int
@@ -45,7 +47,7 @@ let apply t ~thread key ~site ~on_found ~on_notfound =
       | `Window c -> Rr.Hoh.Hand_off c)
 
 let lookup_s t ~thread key =
-  apply t ~thread key ~site:"slist.lookup"
+  apply t ~thread ~read_phase:t.mode.Mode.ro_hint key ~site:"slist.lookup"
     ~on_found:(fun _ ~prev:_ ~curr:_ -> true)
     ~on_notfound:(fun _ ~prev:_ ~curr:_ -> false)
 

@@ -15,6 +15,7 @@ val create :
   mode:Mode.kind ->
   ?window:int ->
   ?scatter:bool ->
+  ?adaptive:bool ->
   ?strategy:Mempool.strategy ->
   ?rr_config:Rr.Config.t ->
   ?hp_threshold:int ->
@@ -22,7 +23,10 @@ val create :
   unit ->
   t
 (** [window] defaults to 8 (the paper's best list setting at high thread
-    counts); [scatter] to [true]; [strategy] to {!Mempool.Thread_arena};
+    counts); [scatter] to [true]; [adaptive] to [false] (when set, the
+    per-thread window controller of {!Rr.Hoh.Window} adjusts the live
+    budget from contention feedback, with [window] as the starting point);
+    [strategy] to {!Mempool.Thread_arena};
     [max_attempts] to the TM default (the paper uses 2 for lists). *)
 
 val name : t -> string

@@ -9,8 +9,8 @@ type t = {
   seeds : int array;
 }
 
-let create ~mode ?(window = 16) ?(scatter = true) ?strategy ?rr_config
-    ?hp_threshold ?(max_attempts = 8) ?(seed = 42) () =
+let create ~mode ?(window = 16) ?(scatter = true) ?adaptive ?strategy
+    ?rr_config ?hp_threshold ?(max_attempts = 8) ?(seed = 42) () =
   (match mode with
   | Mode.Ref -> invalid_arg "Hoh_skiplist: Ref mode is not supported"
   | Mode.Rr_kind _ | Mode.Htm | Mode.Tmhp | Mode.Ebr -> ());
@@ -25,7 +25,7 @@ let create ~mode ?(window = 16) ?(scatter = true) ?strategy ?rr_config
   {
     mode;
     head = Snode.sentinel ();
-    window = Window.create ~scatter window;
+    window = Window.create ~scatter ?adaptive window;
     pool;
     max_attempts = Some max_attempts;
     seeds = Array.init Tm.Thread.max_threads (fun i -> seed + (i * 7919) + 1);
@@ -97,15 +97,17 @@ let pred_with_hint txn t ~key ~preds l =
 (* The windowed traversal. [on_position txn ~preds ~pred0 ~curr] runs in the
    final transaction once level 0 is reached: [pred0 = preds.(0)] is fresh,
    [curr] its level-0 successor (the candidate match). *)
-let apply t ~thread key ~site ~on_position =
+let apply t ~thread ?(read_phase = false) key ~site ~on_position =
   if key <= min_int + 1 then invalid_arg "Hoh_skiplist: key out of range";
   let preds = Array.make Snode.max_level t.head in
   let resume_level = ref (Snode.max_level - 1) in
   Rr.Hoh.apply_stamped ~rr:t.mode.Mode.ops ~site ?max_attempts:t.max_attempts
+    ~read_phase
+    ~window:(t.window, thread)
     (fun txn ~start ->
       let node, lvl, budget =
         match start with
-        | Some n -> (n, !resume_level, Window.size t.window)
+        | Some n -> (n, !resume_level, Window.budget t.window ~thread)
         | None ->
             Array.fill preds 0 Snode.max_level t.head;
             ( t.head,
@@ -135,7 +137,7 @@ let key_matches txn curr key =
   | None -> false
 
 let lookup_s t ~thread key =
-  apply t ~thread key ~site:"skiplist.lookup"
+  apply t ~thread ~read_phase:t.mode.Mode.ro_hint key ~site:"skiplist.lookup"
     ~on_position:(fun txn ~preds:_ ~pred0:_ ~curr -> key_matches txn curr key)
 
 let insert_s t ~thread key =

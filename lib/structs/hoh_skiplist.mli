@@ -26,6 +26,7 @@ val create :
   mode:Mode.kind ->
   ?window:int ->
   ?scatter:bool ->
+  ?adaptive:bool ->
   ?strategy:Mempool.strategy ->
   ?rr_config:Rr.Config.t ->
   ?hp_threshold:int ->

@@ -18,6 +18,7 @@ type 'n t = {
   name : string;
   strict : bool;
   whole_op : bool;
+  ro_hint : bool;
   ops : 'n Rr.ops;
   invalidate : Tm.txn -> 'n -> unit;
   dispose : Tm.txn -> 'n -> unit;
@@ -120,6 +121,7 @@ let tmhp_mode ~pool ~deleted ~gen ~hp_threshold =
     name = "TMHP";
     strict = true;
     whole_op = false;
+    ro_hint = true;
     ops;
     invalidate = (fun txn n -> Tm.write txn (deleted n) true);
     dispose =
@@ -177,6 +179,7 @@ let ref_mode ~pool ~deleted ~rc =
     name = "REF";
     strict = true;
     whole_op = false;
+    ro_hint = false;
     ops;
     invalidate = (fun txn n -> Tm.write txn (deleted n) true);
     dispose = (fun txn n -> free_if_dead txn n);
@@ -242,6 +245,7 @@ let ebr_mode ~pool ~deleted ~advance_threshold =
     name = "EBR";
     strict = true;
     whole_op = false;
+    ro_hint = true;
     ops;
     invalidate = (fun txn n -> Tm.write txn (deleted n) true);
     dispose =
@@ -279,6 +283,7 @@ let rr_mode m ~pool ~hash ~equal ~rr_config =
     name = M.name;
     strict = M.strict;
     whole_op = false;
+    ro_hint = true;
     ops;
     invalidate = (fun txn n -> ops.Rr.revoke txn n);
     dispose =
@@ -295,6 +300,7 @@ let htm_mode ~pool =
     name = "HTM";
     strict = true;
     whole_op = true;
+    ro_hint = false;
     ops = no_op_ops "HTM";
     invalidate = (fun _ _ -> ());
     dispose =

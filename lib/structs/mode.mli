@@ -36,6 +36,18 @@ type 'n t = {
   name : string;
   strict : bool;
   whole_op : bool;  (** ignore windows; run the operation in one txn *)
+  ro_hint : bool;
+      (** pure lookups under this mode may run their windows with
+          {!Tm.atomic}'s [read_phase] hint (wait out locked words, never
+          escalate to the serial fallback). True for TMHP and EBR, whose
+          reservations are out-of-band publications (the lookup windows
+          are TM-read-only, so they never advance the clock), and for the
+          RR kinds, whose reservation writes touch only the reserving
+          thread's own slots/cells — contended solely by rare revocations,
+          which regular abort/retry handles. False for REF (reserving
+          writes shared refcount tvars that every passing thread
+          contends on) and HTM (the whole operation, writes included,
+          runs as one transaction). *)
   ops : 'n Rr.ops;
   invalidate : Tm.txn -> 'n -> unit;
   dispose : Tm.txn -> 'n -> unit;

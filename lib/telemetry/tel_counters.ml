@@ -6,6 +6,8 @@ type t = {
   mutable aborts_serial : int;
   mutable aborts_user : int;
   mutable fallbacks : int;
+  mutable extensions : int;
+  mutable ext_fails : int;
 }
 
 let create () =
@@ -17,6 +19,8 @@ let create () =
     aborts_serial = 0;
     aborts_user = 0;
     fallbacks = 0;
+    extensions = 0;
+    ext_fails = 0;
   }
 
 let reset t =
@@ -26,7 +30,9 @@ let reset t =
   t.aborts_lock <- 0;
   t.aborts_serial <- 0;
   t.aborts_user <- 0;
-  t.fallbacks <- 0
+  t.fallbacks <- 0;
+  t.extensions <- 0;
+  t.ext_fails <- 0
 
 let incr_started t = t.started <- t.started + 1
 let incr_commits t = t.commits <- t.commits + 1
@@ -35,6 +41,8 @@ let incr_aborts_lock t = t.aborts_lock <- t.aborts_lock + 1
 let incr_aborts_serial t = t.aborts_serial <- t.aborts_serial + 1
 let incr_aborts_user t = t.aborts_user <- t.aborts_user + 1
 let incr_fallbacks t = t.fallbacks <- t.fallbacks + 1
+let incr_extensions t = t.extensions <- t.extensions + 1
+let incr_ext_fails t = t.ext_fails <- t.ext_fails + 1
 
 let started t = t.started
 let commits t = t.commits
@@ -43,6 +51,8 @@ let aborts_lock t = t.aborts_lock
 let aborts_serial t = t.aborts_serial
 let aborts_user t = t.aborts_user
 let fallbacks t = t.fallbacks
+let extensions t = t.extensions
+let ext_fails t = t.ext_fails
 
 let add acc x =
   acc.started <- acc.started + x.started;
@@ -51,7 +61,9 @@ let add acc x =
   acc.aborts_lock <- acc.aborts_lock + x.aborts_lock;
   acc.aborts_serial <- acc.aborts_serial + x.aborts_serial;
   acc.aborts_user <- acc.aborts_user + x.aborts_user;
-  acc.fallbacks <- acc.fallbacks + x.fallbacks
+  acc.fallbacks <- acc.fallbacks + x.fallbacks;
+  acc.extensions <- acc.extensions + x.extensions;
+  acc.ext_fails <- acc.ext_fails + x.ext_fails
 
 let total_aborts t =
   t.aborts_read + t.aborts_lock + t.aborts_serial + t.aborts_user
@@ -71,11 +83,13 @@ let to_json t =
       ("aborts_serial", Tel_json.Int t.aborts_serial);
       ("aborts_user", Tel_json.Int t.aborts_user);
       ("fallbacks", Tel_json.Int t.fallbacks);
+      ("extensions", Tel_json.Int t.extensions);
+      ("ext_fails", Tel_json.Int t.ext_fails);
     ]
 
 let pp ppf t =
   Format.fprintf ppf
     "started=%d commits=%d aborts(read=%d lock=%d serial=%d user=%d) \
-     fallbacks=%d"
+     fallbacks=%d extensions=%d ext_fails=%d"
     t.started t.commits t.aborts_read t.aborts_lock t.aborts_serial
-    t.aborts_user t.fallbacks
+    t.aborts_user t.fallbacks t.extensions t.ext_fails

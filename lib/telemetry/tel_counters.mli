@@ -33,6 +33,13 @@ val incr_aborts_user : t -> unit
 val incr_fallbacks : t -> unit
 (** An operation escalated to serial mode. *)
 
+val incr_extensions : t -> unit
+(** A stale read was rescued by a successful timestamp extension. *)
+
+val incr_ext_fails : t -> unit
+(** A timestamp extension was attempted but revalidation failed (the
+    attempt then aborts with a read-validation failure). *)
+
 val started : t -> int
 val commits : t -> int
 val aborts_read : t -> int
@@ -40,6 +47,8 @@ val aborts_lock : t -> int
 val aborts_serial : t -> int
 val aborts_user : t -> int
 val fallbacks : t -> int
+val extensions : t -> int
+val ext_fails : t -> int
 
 val add : t -> t -> unit
 (** [add acc x] accumulates [x] into [acc]. *)

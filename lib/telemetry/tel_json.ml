@@ -251,5 +251,6 @@ let member k = function
 
 let to_int = function Int i -> Some i | _ -> None
 let to_float = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
 let to_string_opt = function String s -> Some s | _ -> None
 let to_list = function List xs -> Some xs | _ -> None

@@ -28,6 +28,7 @@ val member : string -> t -> t option
 
 val to_int : t -> int option
 val to_float : t -> float option
+val to_bool : t -> bool option
 (** [Int]s coerce to float. *)
 
 val to_string_opt : t -> string option

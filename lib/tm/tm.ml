@@ -48,6 +48,15 @@ type txn = {
   mutable stamp : int;
   mutable read_only : bool;
   mutable must_validate : bool;
+  mutable read_phase : bool;
+      (* Pure-traversal hint from the operation layer: reads wait out
+         locked words instead of aborting, and the attempt loop never
+         escalates to the serial fallback (which would advance the global
+         clock on behalf of a transaction that publishes nothing). *)
+  stats : Tm_stats.t;
+      (* The owning thread's counter record, so deep read-path events
+         (timestamp extensions) can be attributed without threading the
+         thread state through every call. *)
   (* Telemetry: the site label of the enclosing [atomic] call and the uid
      of the tvar that caused the pending abort (-1 when unknown). Both are
      only written on slow paths (atomic entry, abort raise sites). *)
@@ -98,7 +107,7 @@ type thread_state = {
 
 let no_index : int array = [||]
 
-let fresh_txn tid =
+let fresh_txn tid stats =
   {
     tid;
     rv = 0;
@@ -119,6 +128,8 @@ let fresh_txn tid =
     must_validate = false;
     site = no_site;
     conflict_uid = -1;
+    read_phase = false;
+    stats;
   }
 
 module Thread = struct
@@ -181,10 +192,11 @@ module Thread = struct
            padding keeps one domain's updates from invalidating the
            cache line under a neighbouring domain's records (DLS roots
            for concurrently spawned domains are allocated together). *)
+        let t_stats = Pad.copy_as_padded (Tm_stats.create ()) in
         let st =
-          { id; txn = fresh_txn id;
+          { id; txn = fresh_txn id t_stats;
             backoff = Pad.copy_as_padded (Backoff.create ());
-            t_stats = Pad.copy_as_padded (Tm_stats.create ());
+            t_stats;
             t_slot = Telemetry.slot id }
         in
         Dst.Tls.set tls_key (Some st);
@@ -331,14 +343,36 @@ let wset_put : type a. txn -> a tvar -> a -> unit =
     end
   end
 
-let wset_holds_lock txn lock =
-  let rec go i =
-    if i >= txn.wn then false
-    else
-      let (W e) = txn.wset.(i) in
-      e.tv.lock == lock || go (i + 1)
-  in
-  go 0
+(* Whether [lock] belongs to a tvar in the write set — i.e. a lock the
+   committing transaction itself holds. [uid] is the read-set entry's
+   logged tvar uid, letting the lookup reuse the read path's Bloom filter
+   and uid index so commit validation stays O(rn) instead of O(rn * wn)
+   for large write sets; uids are unique per tvar, so a uid match implies
+   the lock identity matches. *)
+let wset_holds_lock txn lock uid =
+  txn.wfilter land filter_bit uid <> 0
+  &&
+  if txn.windex != no_index then begin
+    let idx = txn.windex in
+    let mask = Array.length idx - 1 in
+    let rec probe i =
+      match idx.(i) with
+      | 0 -> false
+      | s ->
+          let (W e) = txn.wset.(s - 1) in
+          if e.tv.uid = uid then e.tv.lock == lock
+          else probe ((i + 1) land mask)
+    in
+    probe (uid_hash uid land mask)
+  end
+  else
+    let rec go i =
+      if i >= txn.wn then false
+      else
+        let (W e) = txn.wset.(i) in
+        e.tv.lock == lock || go (i + 1)
+    in
+    go 0
 
 let reset_logs txn =
   (* Clear stored references so the GC can collect dead tvars. *)
@@ -373,6 +407,94 @@ let[@inline] rset_dup_at txn i lock word uid =
      (txn.conflict_uid <- uid;
       raise (Abort Read_invalid)))
 
+(* ---- timestamp extension (TinySTM/LSA-style) ----
+
+   A read that observes [version l1 > txn.rv] is not necessarily doomed:
+   if every location already in the read set still carries exactly its
+   logged lock word, the snapshot taken so far is also consistent at the
+   current clock value, so [rv] can be extended and the read re-executed
+   instead of aborting. The serial-token re-check mirrors [sample_rv]'s
+   straddle closure: observing the token clear {e after} sampling proves
+   every serial transaction with [wv_s <= new_rv] has fully finished, so
+   none of its in-flight direct writes can be mistaken for state that is
+   consistent at [new_rv]. *)
+let try_extend txn =
+  if Dst.point_fails Dst.Tm_extend then false
+  else begin
+    let new_rv = Gclock.sample () in
+    if serial_active () then false
+    else begin
+      Dst.point Dst.Tm_validate;
+      let rec intact i =
+        i >= txn.rn
+        || (Atomic.get txn.r_locks.(i) = txn.r_words.(i) && intact (i + 1))
+      in
+      intact 0
+      && begin
+           txn.rv <- new_rv;
+           Stats.incr_extensions txn.stats;
+           true
+         end
+    end
+  end
+
+(* The uncached read loop lives at top level (not as an inner [let rec])
+   so the hot path stays allocation-free: an inner recursive closure
+   capturing [txn]/[tv] would cost one minor-heap block per read, and at
+   multiple domains that allocation rate turns into stop-the-world minor
+   collections. *)
+let rec read_uncached : 'a. txn -> 'a tvar -> 'a =
+  fun (type a) (txn : txn) (tv : a tvar) : a ->
+   let l1 = Atomic.get tv.lock in
+   if locked l1 then
+     if txn.read_phase then begin
+       (* Committers never spin while holding locks, so the writeback
+          section is bounded: a pure traversal waits it out rather than
+          paying an abort. Under DST the holder is a paused logical
+          thread; yield to it. *)
+       Dst.point Dst.Tm_read;
+       Domain.cpu_relax ();
+       read_uncached txn tv
+     end
+     else begin
+       txn.conflict_uid <- tv.uid;
+       raise (Abort Lock_busy)
+     end
+   else begin
+     let v = Atomic.get tv.cell in
+     let l2 = Atomic.get tv.lock in
+     if l1 <> l2 then
+       (* A committer's writeback raced the seqlock pair; the word has
+          settled into either locked or a newer version, both handled
+          above on re-read. *)
+       read_uncached txn tv
+     else if version l1 > txn.rv then
+       if try_extend txn then read_uncached txn tv
+       else begin
+         txn.conflict_uid <- tv.uid;
+         Stats.incr_ext_fails txn.stats;
+         raise (Abort Read_invalid)
+       end
+     else begin
+       (* Dedup: a hand-over-hand operation re-reads locations it logged
+          moments ago — the traversal's (prev, curr) pair, a node's
+          fields around an unlink — so when a read is a duplicate, the
+          earlier entry sits at the tail of the read set. Checking the
+          two newest entries catches these patterns for the cost of two
+          physical-equality tests; a duplicate that escapes the bound is
+          pushed again, which is benign, since commit-time validation is
+          per-location. (An exact Bloom-filtered dedup was measurably
+          slower: its per-read hash-and-test overhead outweighed the
+          saved entries on every single-domain configuration.) *)
+       if
+         not
+           (rset_dup_at txn (txn.rn - 1) tv.lock l1 tv.uid
+           || rset_dup_at txn (txn.rn - 2) tv.lock l1 tv.uid)
+       then rset_push txn tv.lock l1 tv.uid;
+       v
+     end
+   end
+
 let read (txn : txn) tv =
   if txn.serial then Atomic.get tv.cell
   else begin
@@ -387,36 +509,7 @@ let read (txn : txn) tv =
          whose reads vastly outnumber its writes. *)
       if txn.wfilter land bit <> 0 then wset_find txn tv else None
     in
-    match buffered with
-    | Some v -> v
-    | None ->
-        let l1 = Atomic.get tv.lock in
-        if locked l1 then begin
-          txn.conflict_uid <- tv.uid;
-          raise (Abort Lock_busy)
-        end;
-        let v = Atomic.get tv.cell in
-        let l2 = Atomic.get tv.lock in
-        if l1 <> l2 || version l1 > txn.rv then begin
-          txn.conflict_uid <- tv.uid;
-          raise (Abort Read_invalid)
-        end;
-        (* Dedup: a hand-over-hand operation re-reads locations it logged
-           moments ago — the traversal's (prev, curr) pair, a node's
-           fields around an unlink — so when a read is a duplicate, the
-           earlier entry sits at the tail of the read set. Checking the
-           two newest entries catches these patterns for the cost of two
-           physical-equality tests; a duplicate that escapes the bound is
-           pushed again, which is benign, since commit-time validation is
-           per-location. (An exact Bloom-filtered dedup was measurably
-           slower: its per-read hash-and-test overhead outweighed the
-           saved entries on every single-domain configuration.) *)
-        if
-          not
-            (rset_dup_at txn (txn.rn - 1) tv.lock l1 tv.uid
-            || rset_dup_at txn (txn.rn - 2) tv.lock l1 tv.uid)
-        then rset_push txn tv.lock l1 tv.uid;
-        v
+    match buffered with Some v -> v | None -> read_uncached txn tv
   end
 
 let write (txn : txn) tv v =
@@ -522,7 +615,9 @@ let commit (txn : txn) =
             let lock = txn.r_locks.(i) and word = txn.r_words.(i) in
             let cur = Atomic.get lock in
             let ok =
-              cur = word || (cur = word lor 1 && wset_holds_lock txn lock)
+              cur = word
+              || (cur = word lor 1
+                 && wset_holds_lock txn lock txn.r_uids.(i))
             in
             if not ok then begin
               unlock_first_n txn txn.wn;
@@ -648,7 +743,7 @@ let cause_label = function
   | Serial_pending -> "serial_pending"
   | User_retry -> "user_retry"
 
-let atomic_stamped ?site ?max_attempts f =
+let atomic_stamped ?site ?max_attempts ?(read_phase = false) f =
   let st = Thread.state () in
   let txn = st.txn in
   if txn.active then
@@ -669,10 +764,16 @@ let atomic_stamped ?site ?max_attempts f =
     let slot = st.t_slot in
     if tele then
       txn.site <- (match site with Some s -> s | None -> no_site);
+    txn.read_phase <- read_phase;
     let op_start = if tele then Telemetry.now_ns () else 0 in
     Backoff.reset st.backoff;
     let rec attempt n total =
-      if n >= max_attempts then begin
+      (* A read-phase transaction never escalates: the serial fallback
+         advances the global clock (and blocks every speculative
+         committer) on behalf of a window that publishes nothing. Its
+         aborts all imply another transaction made progress, so unbounded
+         speculative retry is abort-free livelock-safe. *)
+      if n >= max_attempts && not read_phase then begin
         Stats.incr_fallbacks stats;
         Stats.incr_started stats;
         let t0 = if tele then Telemetry.now_ns () else 0 in
@@ -754,7 +855,8 @@ let atomic_stamped ?site ?max_attempts f =
     attempt 0 0
   end
 
-let atomic ?site ?max_attempts f = (atomic_stamped ?site ?max_attempts f).value
+let atomic ?site ?max_attempts ?read_phase f =
+  (atomic_stamped ?site ?max_attempts ?read_phase f).value
 
 let current_txn () =
   match Dst.Tls.get Thread.tls_key with

@@ -84,6 +84,14 @@ end
 val read : txn -> 'a tvar -> 'a
 (** Transactional read. Returns the transaction's own pending write if any;
     otherwise performs an opaque (validated) read.
+
+    A read that observes a version newer than the transaction's read
+    timestamp first attempts a {e timestamp extension} (TinySTM/LSA-style):
+    the whole read set is revalidated against the current lock words and,
+    if intact, the read timestamp is advanced to a fresh clock sample and
+    the read re-executed — so only {e true} conflicts abort. Successful
+    extensions and failed attempts are counted in the thread's
+    {!Thread.stats} ([extensions] / [ext_fails]).
     @raise Abort on conflict. *)
 
 val write : txn -> 'a tvar -> 'a -> unit
@@ -129,7 +137,8 @@ type 'a result = {
   serial : bool;  (** whether the committing attempt ran in serial mode *)
 }
 
-val atomic : ?site:string -> ?max_attempts:int -> (txn -> 'a) -> 'a
+val atomic :
+  ?site:string -> ?max_attempts:int -> ?read_phase:bool -> (txn -> 'a) -> 'a
 (** [atomic f] runs [f] as a transaction, retrying on conflicts with
     randomized exponential backoff. After [max_attempts] conflict aborts
     (default {!default_max_attempts}), the transaction is re-run under the
@@ -140,9 +149,25 @@ val atomic : ?site:string -> ?max_attempts:int -> (txn -> 'a) -> 'a
     is on, every abort is attributed to [(site, cause, conflicting tvar)]
     in the calling thread's {!Telemetry.Attribution} table. Pass a static
     string (e.g. ["slist.insert"]); when omitted the aborts are pooled
-    under ["?"]. Ignored (beyond the enclosing label) for nested calls. *)
+    under ["?"]. Ignored (beyond the enclosing label) for nested calls.
 
-val atomic_stamped : ?site:string -> ?max_attempts:int -> (txn -> 'a) -> 'a result
+    [read_phase] (default [false]) declares a pure-traversal transaction:
+    reads that hit a locked word wait out the (bounded) writeback section
+    instead of aborting with [Lock_busy], and the retry loop never
+    escalates to the serial fallback — so a read-only traversal window
+    never advances the global version clock. Only set it for transactions
+    whose writes (if any) are private; a read-phase transaction that
+    conflicts on every attempt retries speculatively forever, which is
+    livelock-free only because each of its aborts implies a concurrent
+    commit. Ignored for nested calls (the enclosing hint stays in
+    force). *)
+
+val atomic_stamped :
+  ?site:string ->
+  ?max_attempts:int ->
+  ?read_phase:bool ->
+  (txn -> 'a) ->
+  'a result
 (** Like {!atomic} but also reports the commit stamp and attempt counts. *)
 
 val default_max_attempts : unit -> int

@@ -140,6 +140,132 @@ let stale_hint ~bug () =
               ("contents " ^ String.concat ";" (List.map string_of_int got)));
   }
 
+(* ---- timestamp extension under a concurrent commit ---- *)
+
+(* No injected bug here: these scenarios pin the extension protocol's
+   behavior. A reader snapshots x then y while a writer commits between
+   the two reads. In [extend_success] the writer touches only y, so the
+   reader's stale read of y revalidates its intact read set {x}, extends
+   rv, and completes in a single attempt; in [extend_fail] the writer
+   updates both, the revalidation finds x changed, and the reader must
+   abort and retry exactly as it did before extensions existed.
+
+   [expect] selects the check:
+   - [`Opaque]   opacity only — must hold on {e every} schedule; the
+                 searches over these are the oracle runs proving the
+                 extension never lets a torn pair commit;
+   - [`Probe]    inverted: {e fail} when the extension fired — used once
+                 to discover the pinned schedules below (the minimized
+                 "failure" is precisely a schedule that drives the
+                 protocol through the extension path);
+   - [`Strong]   the full deterministic claim, for pinned replays. *)
+let extend_scenario ~writes_x ~expect () =
+  Dst.Inject.clear ();
+  Tm.Thread.reset_ids_for_testing ();
+  let x = Tm.tvar 0 and y = Tm.tvar 0 in
+  let observed = ref (-1, -1) in
+  let attempts = ref 0 and extensions = ref 0 and ext_fails = ref 0 in
+  let writer () =
+    Tm.Thread.with_registered (fun _ ->
+        Tm.atomic (fun txn ->
+            if writes_x then Tm.write txn x 1;
+            Tm.write txn y 1))
+  in
+  let reader () =
+    Tm.Thread.with_registered (fun _ ->
+        let st = Tm.Thread.stats () in
+        Tm.Stats.reset st;
+        let r =
+          Tm.atomic_stamped (fun txn ->
+              let vx = Tm.read txn x in
+              let vy = Tm.read txn y in
+              (vx, vy))
+        in
+        observed := r.Tm.value;
+        attempts := r.Tm.attempts;
+        extensions := Tm.Stats.extensions st;
+        ext_fails := Tm.Stats.ext_fails st)
+  in
+  let opaque () =
+    match (writes_x, !observed) with
+    | _, ((0, 0) | (1, 1)) | false, (0, 1) -> ()
+    | _, (a, b) -> failwith (Printf.sprintf "torn snapshot (%d,%d)" a b)
+  in
+  {
+    Dst.Explore.init = None;
+    threads = [ writer; reader ];
+    check =
+      (fun () ->
+        opaque ();
+        match expect with
+        | `Opaque -> ()
+        | `Probe ->
+            if (if writes_x then !ext_fails else !extensions) > 0 then
+              failwith "extension path taken"
+        | `Strong ->
+            if writes_x then begin
+              if !observed <> (1, 1) then
+                failwith "writer did not commit mid-snapshot";
+              if !attempts <> 2 then
+                failwith (Printf.sprintf "%d attempts, wanted 2" !attempts);
+              if !ext_fails < 1 then failwith "no failed extension recorded"
+            end
+            else begin
+              if !observed <> (0, 1) then
+                failwith "writer did not commit mid-snapshot";
+              if !attempts <> 1 then
+                failwith
+                  (Printf.sprintf "%d attempts (aborted instead of extending)"
+                     !attempts);
+              if !extensions < 1 then failwith "no extension recorded"
+            end);
+  }
+
+let extend_success ~expect = extend_scenario ~writes_x:false ~expect
+let extend_fail ~expect = extend_scenario ~writes_x:true ~expect
+
+(* ---- the read-phase hint under a paused committer ---- *)
+
+(* A read-phase reader that hits a locked word must wait the (bounded)
+   writeback section out rather than abort: on {e every} schedule —
+   including those pausing the writer between its lock acquisition and
+   writeback — the reader completes with zero [Lock_busy] aborts and
+   never escalates to the serial fallback. *)
+let read_phase_wait () =
+  Dst.Inject.clear ();
+  Tm.Thread.reset_ids_for_testing ();
+  let x = Tm.tvar 0 in
+  let seen = ref (-1) and lock_aborts = ref 0 and serial = ref true in
+  let writer () =
+    Tm.Thread.with_registered (fun _ ->
+        Tm.atomic (fun txn -> Tm.write txn x 1))
+  in
+  let reader () =
+    Tm.Thread.with_registered (fun _ ->
+        let st = Tm.Thread.stats () in
+        Tm.Stats.reset st;
+        let r =
+          Tm.atomic_stamped ~max_attempts:1 ~read_phase:true (fun txn ->
+              Tm.read txn x)
+        in
+        seen := r.Tm.value;
+        serial := r.Tm.serial;
+        lock_aborts := Tm.Stats.aborts_lock st)
+  in
+  {
+    Dst.Explore.init = None;
+    threads = [ writer; reader ];
+    check =
+      (fun () ->
+        if !seen <> 0 && !seen <> 1 then
+          failwith (Printf.sprintf "read %d" !seen);
+        if !lock_aborts > 0 then
+          failwith
+            (Printf.sprintf "%d Lock_busy aborts under read_phase"
+               !lock_aborts);
+        if !serial then failwith "read-phase transaction went serial");
+  }
+
 (* ---- pinned minimized schedules and documented search budgets ---- *)
 
 (* bug #1, random search (budget 500, <= 2000 runs; found at seed 6 in 19
@@ -156,3 +282,18 @@ let sched_bug2 = Array.concat [ Array.make 10 0; Array.make 42 1 ]
    runs): A walks to the hand-off reserving node 30; B runs remove 20 +
    insert 25 to completion; A's resumed level-1 unlink trips. *)
 let sched_bug3 = Array.concat [ Array.make 53 0; Array.make 124 1 ]
+
+(* extension success, random probe search over [extend_success ~expect:`Probe]
+   (budget 300, <= 4000 runs; found at seed 24 in 34 runs): the reader
+   runs through its clock sample and the read of x, the exhausted
+   schedule hands the rest of the run to the writer (lowest-numbered
+   runnable thread), which commits y; the reader's resumed read of y is
+   stale, revalidates {x}, and extends. *)
+let sched_extend_ok = [| 1; 1 |]
+
+(* extension failure, random probe search over [extend_fail ~expect:`Probe]
+   (budget 300, <= 4000 runs; found at seed 43 in 55 runs): same shape
+   one yield deeper; the writer's commit covers x as well, so the
+   reader's revalidation finds its read set changed, the extension
+   fails, and the second attempt snapshots (1,1). *)
+let sched_extend_fail = [| 1; 1; 1 |]

@@ -3,7 +3,10 @@
    the three DESIGN.md bugs is re-injected, rediscovered by its documented
    seeded search, and cross-checked against the committed minimized
    schedule; the fixed code must survive both the search and the pinned
-   adversarial schedules. Exits non-zero on any miss. *)
+   adversarial schedules. The timestamp-extension scenarios then run as
+   oracles (no schedule may break opacity or the read-phase guarantee)
+   and as pinned deterministic replays of the extension success/failure
+   paths. Exits non-zero on any miss. *)
 
 let failures = ref 0
 
@@ -48,5 +51,26 @@ let () =
   replay "bug #3 pinned schedule triggers" (stale_hint ~bug:true) sched_bug3
     true;
   replay "bug #3 fixed code survives" (stale_hint ~bug:false) sched_bug3 false;
+  (* timestamp extension: oracle searches must find no opacity or
+     read-phase violation on any explored schedule, and the pinned
+     schedules must drive the protocol through the extension paths
+     deterministically (one-attempt rescue / clean fail-and-retry) *)
+  expect "extension opacity / random oracle"
+    (Option.is_none
+       (Dst.Explore.random_search ~budget:300 ~max_runs:400
+          (extend_success ~expect:`Opaque)));
+  expect "extension opacity / PCT oracle"
+    (Option.is_none
+       (Dst.Explore.pct_search ~budget:300 ~max_runs:400 ~depth:2
+          (extend_fail ~expect:`Opaque)));
+  expect "read-phase hint / random oracle"
+    (Option.is_none
+       (Dst.Explore.random_search ~budget:300 ~max_runs:400 read_phase_wait));
+  replay "extension success pinned schedule"
+    (extend_success ~expect:`Strong)
+    sched_extend_ok false;
+  replay "extension failure pinned schedule"
+    (extend_fail ~expect:`Strong)
+    sched_extend_fail false;
   Dst.Inject.clear ();
   if !failures > 0 then exit 1

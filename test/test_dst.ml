@@ -245,6 +245,42 @@ let test_regression_bug3 =
   regression (stale_hint ~bug:true) (stale_hint ~bug:false) sched_bug3
 
 (* ---------------------------------------------------------------- *)
+(* Timestamp extension and the read-phase hint (see Dst_scenarios)    *)
+(* ---------------------------------------------------------------- *)
+
+let test_extension_opacity_oracle () =
+  checkb "random search finds no torn snapshot" true
+    (Dst.Explore.random_search ~budget:300 ~max_runs:600
+       (Dst_scenarios.extend_success ~expect:`Opaque)
+    = None);
+  checkb "PCT search finds no torn snapshot" true
+    (Dst.Explore.pct_search ~budget:300 ~max_runs:600 ~depth:2
+       (Dst_scenarios.extend_fail ~expect:`Opaque)
+    = None)
+
+let test_read_phase_oracle () =
+  checkb "no Lock_busy abort or serial escalation on any schedule" true
+    (Dst.Explore.random_search ~budget:300 ~max_runs:600
+       Dst_scenarios.read_phase_wait
+    = None)
+
+(* Documented budgets: random probe searches over the [`Probe] variants
+   (budget 300, <= 4000 runs) found the extension-success schedule at
+   seed 24 in 34 runs and the extension-failure schedule at seed 43 in
+   55 runs; the minimized traces are pinned in Dst_scenarios. *)
+let test_pinned_extension_paths () =
+  checkb "pinned schedule drives a one-attempt extension rescue" false
+    (Dst.Sched.failed
+       (Dst.Explore.replay
+          (Dst_scenarios.extend_success ~expect:`Strong)
+          Dst_scenarios.sched_extend_ok));
+  checkb "pinned schedule drives a failed extension and clean retry" false
+    (Dst.Sched.failed
+       (Dst.Explore.replay
+          (Dst_scenarios.extend_fail ~expect:`Strong)
+          Dst_scenarios.sched_extend_fail))
+
+(* ---------------------------------------------------------------- *)
 (* Oracles under adversarial schedules                               *)
 (* ---------------------------------------------------------------- *)
 
@@ -605,6 +641,14 @@ let () =
           Alcotest.test_case "ro publication (bug #2)" `Quick
             test_regression_bug2;
           Alcotest.test_case "stale hint (bug #3)" `Quick test_regression_bug3;
+        ] );
+      ( "extension",
+        [
+          Alcotest.test_case "opacity oracle" `Quick
+            test_extension_opacity_oracle;
+          Alcotest.test_case "read-phase oracle" `Quick test_read_phase_oracle;
+          Alcotest.test_case "pinned extension paths" `Quick
+            test_pinned_extension_paths;
         ] );
       ( "oracles",
         [

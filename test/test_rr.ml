@@ -543,6 +543,39 @@ let test_window_invalid () =
     (Invalid_argument "Hoh.Window.create: w < 1") (fun () ->
       ignore (Rr.Hoh.Window.create 0))
 
+let test_window_adaptive () =
+  let module W = Rr.Hoh.Window in
+  let w = W.create ~adaptive:true 8 in
+  checkb "adaptive flag" true (W.adaptive w);
+  Alcotest.(check int) "static size unchanged" 8 (W.size w);
+  Alcotest.(check int) "starts at w" 8 (W.budget w ~thread:0);
+  (* MIMD: clean windows double the live budget, up to 4w. *)
+  W.record w ~thread:0 ~contended:false;
+  Alcotest.(check int) "doubles on clean" 16 (W.budget w ~thread:0);
+  W.record w ~thread:0 ~contended:false;
+  W.record w ~thread:0 ~contended:false;
+  Alcotest.(check int) "capped at 4w" 32 (W.budget w ~thread:0);
+  (* ...and contended windows halve it, down to 1. *)
+  W.record w ~thread:0 ~contended:true;
+  Alcotest.(check int) "halves on contention" 16 (W.budget w ~thread:0);
+  for _ = 1 to 10 do
+    W.record w ~thread:0 ~contended:true
+  done;
+  Alcotest.(check int) "floored at 1" 1 (W.budget w ~thread:0);
+  (* Controllers are per-thread. *)
+  Alcotest.(check int) "other threads unaffected" 8 (W.budget w ~thread:1);
+  (* First-window scatter follows the live budget. *)
+  W.record w ~thread:2 ~contended:false;
+  for _ = 1 to 50 do
+    let b = W.first_budget w ~thread:2 in
+    checkb "scatter within live budget" true (b >= 1 && b <= 16)
+  done;
+  (* A non-adaptive window ignores feedback. *)
+  let s = W.create ~scatter:false 8 in
+  checkb "not adaptive by default" false (W.adaptive s);
+  W.record s ~thread:0 ~contended:false;
+  Alcotest.(check int) "static budget fixed" 8 (W.budget s ~thread:0)
+
 let test_spec_model () =
   let m = Rr.Spec_model.create ~equal:Int.equal () in
   Rr.Spec_model.reserve m ~thread:0 1;
@@ -614,6 +647,7 @@ let () =
           Alcotest.test_case "window scatter" `Quick test_window_scatter;
           Alcotest.test_case "window fixed" `Quick test_window_no_scatter;
           Alcotest.test_case "window invalid" `Quick test_window_invalid;
+          Alcotest.test_case "window adaptive" `Quick test_window_adaptive;
           Alcotest.test_case "spec model" `Quick test_spec_model;
         ] );
       ( "properties",

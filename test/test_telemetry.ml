@@ -138,9 +138,12 @@ let test_attribution_overflow () =
 
 (* ---- forced abort causes, with attribution (tentpole test) ---- *)
 
-(* Single-domain Read_invalid: poke a second tvar mid-transaction. The poke
-   advances the global clock past the transaction's read version, so the
-   subsequent read must abort and attribute the conflict to that tvar. *)
+(* Single-domain Read_invalid: poke both an already-read tvar and a
+   yet-to-be-read one mid-transaction. The pokes advance the global clock
+   past the transaction's read version, so the subsequent read of [b]
+   attempts a timestamp extension — which fails, because [a] in the read
+   set also changed — and the abort is attributed to [b]. (Poking only [b]
+   would no longer abort at all: the extension would rescue the read.) *)
 let test_forced_read_invalid () =
   with_telemetry (fun () ->
       with_tm (fun () ->
@@ -152,6 +155,7 @@ let test_forced_read_invalid () =
                 let _ = Tm.read txn a in
                 if !first then begin
                   first := false;
+                  Tm.poke a 1;
                   Tm.poke b 7
                 end;
                 Tm.read txn b)
@@ -159,6 +163,7 @@ let test_forced_read_invalid () =
           check "eventually reads poked value" 7 seen;
           let st = Tm.Thread.stats () in
           check "one read abort" 1 (Tm.Stats.aborts_read st);
+          check "the failed extension was counted" 1 (Tm.Stats.ext_fails st);
           let rep = Telemetry.Report.snapshot () in
           let attr = rep.Telemetry.Report.attribution in
           check "attributed to site+cause" 1

@@ -179,6 +179,83 @@ let test_validate_on_commit () =
       check "plain read-only txn commits" 1 !attempts2;
       check "with the pre-poke snapshot" 99 seen2)
 
+(* ---- timestamp extension and the read-phase hint ---- *)
+
+(* A stale read whose read set is still intact must be rescued: the poke
+   of [b] moves the clock past the transaction's read version, but nothing
+   the transaction already read changed, so the extension revalidates,
+   advances rv, and the attempt commits without ever aborting. *)
+let test_extension_rescues_stale_read () =
+  with_tm (fun () ->
+      Tm.Stats.reset (Tm.Thread.stats ());
+      let a = Tm.tvar 0 and b = Tm.tvar 0 in
+      let first = ref true in
+      let r =
+        Tm.atomic_stamped ~max_attempts:10 (fun txn ->
+            let va = Tm.read txn a in
+            if !first then begin
+              first := false;
+              Tm.poke b 7
+            end;
+            (va, Tm.read txn b))
+      in
+      checkb "reads the rescued pair" true (r.Tm.value = (0, 7));
+      check "no retry needed" 1 r.Tm.attempts;
+      let st = Tm.Thread.stats () in
+      check "extension counted" 1 (Tm.Stats.extensions st);
+      check "no extension failures" 0 (Tm.Stats.ext_fails st);
+      check "no read aborts" 0 (Tm.Stats.aborts_read st))
+
+(* When the read set is no longer intact the extension must fail — moving
+   rv past a committed conflicting update would break opacity — and the
+   transaction aborts exactly as it did before extensions existed. *)
+let test_extension_fails_on_true_conflict () =
+  with_tm (fun () ->
+      Tm.Stats.reset (Tm.Thread.stats ());
+      let a = Tm.tvar 0 and b = Tm.tvar 0 in
+      let first = ref true in
+      let r =
+        Tm.atomic_stamped ~max_attempts:10 (fun txn ->
+            let va = Tm.read txn a in
+            if !first then begin
+              first := false;
+              Tm.poke a 1;
+              Tm.poke b 1
+            end;
+            (va, Tm.read txn b))
+      in
+      checkb "snapshot consistent after retry" true (r.Tm.value = (1, 1));
+      check "one retry" 2 r.Tm.attempts;
+      let st = Tm.Thread.stats () in
+      check "failed extension counted" 1 (Tm.Stats.ext_fails st);
+      check "no successful extension" 0 (Tm.Stats.extensions st);
+      check "aborted once" 1 (Tm.Stats.aborts_read st))
+
+(* read_phase transactions retry speculatively instead of escalating: even
+   with the attempt budget already exhausted (max_attempts = 0 sends a
+   normal transaction straight to serial mode) they never take the serial
+   token. *)
+let test_read_phase_never_serial () =
+  with_tm (fun () ->
+      let v = Tm.tvar 0 in
+      let attempts = ref 0 in
+      let r =
+        Tm.atomic_stamped ~max_attempts:0 ~read_phase:true (fun txn ->
+            incr attempts;
+            let x = Tm.read txn v in
+            if !attempts <= 2 then raise (Tm.Abort Tm.Read_invalid);
+            x)
+      in
+      check "kept retrying speculatively" 3 !attempts;
+      checkb "never went serial" false r.Tm.serial;
+      checkb "token untouched" false (Tm.serial_active ()))
+
+let test_read_phase_writes_commit () =
+  with_tm (fun () ->
+      let v = Tm.tvar 0 in
+      Tm.atomic ~read_phase:true (fun txn -> Tm.write txn v 5);
+      check "private write committed" 5 (Tm.peek v))
+
 (* ---- commit path: write-set index, filters, read-set dedup ---- *)
 
 (* Mirrors the Bloom-bit hash in tm.ml (white-box): used to manufacture a
@@ -548,6 +625,17 @@ let () =
           Alcotest.test_case "opaque snapshot" `Quick test_opaque_snapshot;
           Alcotest.test_case "validate-on-commit" `Quick
             test_validate_on_commit;
+        ] );
+      ( "extension",
+        [
+          Alcotest.test_case "rescues stale read" `Quick
+            test_extension_rescues_stale_read;
+          Alcotest.test_case "fails on true conflict" `Quick
+            test_extension_fails_on_true_conflict;
+          Alcotest.test_case "read-phase never serial" `Quick
+            test_read_phase_never_serial;
+          Alcotest.test_case "read-phase writes commit" `Quick
+            test_read_phase_writes_commit;
         ] );
       ( "commit path",
         [
