@@ -129,6 +129,61 @@ let run_config p c ~ops_per_thread =
       ("points", Json.List points);
     ]
 
+(* The sanitizer probe: one representative configuration run three ways —
+   a plain baseline (TxSan hooks compiled in but disabled, i.e. the
+   seed-equivalent path plus one relaxed bool load per hook), a paired
+   off-mode sample (so "within noise" compares two runs of the *same*
+   code), and a TxSan-armed run in [Count] mode. Off-mode must stay within
+   noise of the baseline; the on-mode slowdown is recorded, not bounded —
+   precision is allowed to cost. *)
+let san_probe p (c : config) ~ops_per_thread =
+  (* Floor the probe's op count: the noise bound below needs runs long
+     enough that scheduler jitter doesn't dominate, even in smoke mode. *)
+  let ops_per_thread = max 2_000 ops_per_thread in
+  let threads = List.fold_left max 1 p.threads_list in
+  let point ~san =
+    let window = Factories.best_window ~threads in
+    let handle =
+      (Factories.make (Spec.v ~window ~adaptive:c.adaptive c.structure c.kind))
+        .Factories.make ()
+    in
+    let spec =
+      Workload.spec ~key_bits:c.key_bits ~lookup_pct:c.lookup_pct ~threads
+        ~ops_per_thread ()
+    in
+    Driver.run ~verify:p.verify ~san spec handle
+  in
+  let base = point ~san:false in
+  let off = point ~san:false in
+  let on = point ~san:true in
+  let violations =
+    match on.Driver.san with
+    | Some per_rule -> List.fold_left (fun a (_, n) -> a + n) 0 per_rule
+    | None -> 0
+  in
+  let off_vs_baseline = off.Driver.throughput /. base.Driver.throughput in
+  let on_slowdown = base.Driver.throughput /. on.Driver.throughput in
+  Printf.printf
+    "san probe  %-9s %-6s %dT: off/base %.2f, on-mode slowdown %.1fx, \
+     violations %d\n%!"
+    (Spec.structure_name c.structure)
+    (Structs.Mode.kind_name c.kind)
+    threads off_vs_baseline on_slowdown violations;
+  Json.Obj
+    [
+      ("structure", Json.String (Spec.structure_name c.structure));
+      ("kind", Json.String (Structs.Mode.kind_name c.kind));
+      ("lookup_pct", Json.Int c.lookup_pct);
+      ("threads", Json.Int threads);
+      ("ops_per_thread", Json.Int ops_per_thread);
+      ("baseline_throughput", Json.Float base.Driver.throughput);
+      ("off_throughput", Json.Float off.Driver.throughput);
+      ("on_throughput", Json.Float on.Driver.throughput);
+      ("off_vs_baseline", Json.Float off_vs_baseline);
+      ("on_slowdown", Json.Float on_slowdown);
+      ("violations", Json.Int violations);
+    ]
+
 let report p ~mode ~configs ~ops_per_thread =
   Json.Obj
     [
@@ -139,6 +194,7 @@ let report p ~mode ~configs ~ops_per_thread =
         Json.List (List.map (fun t -> Json.Int t) p.threads_list) );
       ( "configs",
         Json.List (List.map (run_config p ~ops_per_thread) configs) );
+      ("san", san_probe p (List.hd configs) ~ops_per_thread);
     ]
 
 let write_report ~out js =
@@ -161,6 +217,17 @@ let validate js =
   let* () = if s = schema then Ok () else err "schema %S, wanted %S" s schema in
   let* _ = field "bench" Json.to_string_opt js in
   let* _ = field "mode" Json.to_string_opt js in
+  let* san = field "san" Option.some js in
+  let* off = field "off_throughput" Json.to_float san in
+  let* () = if off > 0. then Ok () else err "san off_throughput <= 0" in
+  let* on = field "on_throughput" Json.to_float san in
+  let* () = if on > 0. then Ok () else err "san on_throughput <= 0" in
+  let* ratio = field "off_vs_baseline" Json.to_float san in
+  let* () = if ratio > 0. then Ok () else err "san off_vs_baseline <= 0" in
+  let* slow = field "on_slowdown" Json.to_float san in
+  let* () = if slow > 0. then Ok () else err "san on_slowdown <= 0" in
+  let* viols = field "violations" Json.to_int san in
+  let* () = if viols >= 0 then Ok () else err "negative san violations" in
   let* configs = field "configs" Json.to_list js in
   let* () = if configs = [] then err "empty configs" else Ok () in
   List.fold_left
@@ -261,4 +328,13 @@ let smoke () =
       match validate parsed with
       | Error e -> fail "schema validation failed: %s" e
       | Ok () -> ()));
+  (* Off-mode must be within noise of the baseline: an accidentally-armed
+     sanitizer serializes every access on a global mutex (5-10x), while the
+     legitimate hook cost is one relaxed bool load. The bound is loose
+     because smoke runs are short and containers are noisy. *)
+  (match Option.bind (Json.member "san" js) (Json.member "off_vs_baseline") with
+  | Some (Json.Float ratio) when ratio < 0.33 ->
+      fail "sanitizer-off throughput fell out of noise (ratio %.2f)" ratio
+  | Some (Json.Float _) -> ()
+  | _ -> fail "san probe missing off_vs_baseline");
   Printf.printf "bench-smoke OK: %s validates against %s\n" p.out schema

@@ -1,0 +1,218 @@
+(* hohtx_lint: source-level discipline checker for the transactional
+   modules, run as [dune build @lint]. It enforces, syntactically, the
+   contracts TxSan assumes at runtime:
+
+   - [site-label]      every transaction entry point (Tm.atomic,
+                       Tm.atomic_stamped, Hoh.apply, Hoh.apply_stamped,
+                       Hoh.run) passes [~site], so abort attribution and
+                       sanitizer reports can name the operation.
+   - [raw-atomic]      no [Atomic.*] on record fields other than the
+                       designated non-transactional ones ([gen], [pstate]):
+                       tvar payloads must only be touched through [Tm].
+   - [free-discipline] [Mempool.free] only runs deferred to a commit
+                       ([Tm.defer] or a reclaimer's [~free] closure) —
+                       after the window's revoke has been applied — or in
+                       code that explicitly handles the no-transaction case
+                       ([Tm.current_txn]).
+   - [pool-alloc]      node records come from the pool ([Lnode.alloc] &c.),
+                       never from a bare [Lnode.make]/[Snode.make]/
+                       [Tnode.make], which would bypass slot shadow state
+                       and poisoning.
+
+   Pure parsetree analysis (compiler-libs, no typing): rules are
+   deliberately conservative so the clean tree reports nothing.
+
+   Usage: hohtx_lint [--expect-violations N] FILE.ml...
+   Exit status 1 if violations are found (or, with --expect-violations,
+   if the count differs from N — the fixture self-test). Under
+   GITHUB_ACTIONS, violations also print ::error workflow annotations. *)
+
+let violations = ref 0
+let annotate = ref false
+
+let report ~loc ~rule msg =
+  incr violations;
+  let pos = loc.Location.loc_start in
+  let file = pos.Lexing.pos_fname in
+  let line = pos.Lexing.pos_lnum in
+  let col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol in
+  Printf.eprintf "%s:%d:%d: [%s] %s\n" file line col rule msg;
+  if !annotate then
+    Printf.printf "::error file=%s,line=%d,col=%d::[%s] %s\n" file line col
+      rule msg
+
+let rec last_mod = function
+  | Longident.Lident m -> Some m
+  | Longident.Ldot (_, m) -> Some m
+  | Longident.Lapply (_, l) -> last_mod l
+
+(* The module component right above the value: [Rr.Hoh.apply] -> "Hoh". *)
+let parent_mod = function
+  | Longident.Ldot (p, _) -> last_mod p
+  | _ -> None
+
+let lid_last = function
+  | Longident.Lident s | Longident.Ldot (_, s) -> Some s
+  | Longident.Lapply _ -> None
+
+let is_txn_entry lid =
+  match (parent_mod lid, lid_last lid) with
+  | Some "Tm", Some ("atomic" | "atomic_stamped") -> true
+  | Some "Hoh", Some ("apply" | "apply_stamped" | "run") -> true
+  | _ -> false
+
+let has_site args =
+  List.exists
+    (fun (lbl, _) ->
+      match lbl with
+      | Asttypes.Labelled "site" | Asttypes.Optional "site" -> true
+      | _ -> false)
+    args
+
+let node_modules = [ "Lnode"; "Snode"; "Tnode" ]
+let benign_atomic_fields = [ "gen"; "pstate" ]
+
+open Parsetree
+
+(* [free_ok]: inside a [Tm.defer] callback or a [~free:] closure.
+   [binding_ok]: the enclosing top-level binding inspects
+   [Tm.current_txn], i.e. it handles the not-in-a-transaction case. *)
+type ctx = { free_ok : bool; binding_ok : bool }
+
+let rec check_expr ctx e =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt = lid; _ }; _ }, args) ->
+      if is_txn_entry lid && not (has_site args) then
+        report ~loc:e.pexp_loc ~rule:"site-label"
+          (Printf.sprintf "transaction entry %s without ~site"
+             (String.concat "." (Longident.flatten lid)));
+      (match (parent_mod lid, lid_last lid) with
+      | Some "Atomic", Some fn when fn <> "make" -> (
+          let first_plain =
+            List.find_opt (fun (lbl, _) -> lbl = Asttypes.Nolabel) args
+          in
+          match first_plain with
+          | Some (_, { pexp_desc = Pexp_field (_, { txt = fld; _ }); _ })
+            when not
+                   (match lid_last fld with
+                   | Some f -> List.mem f benign_atomic_fields
+                   | None -> false) ->
+              report ~loc:e.pexp_loc ~rule:"raw-atomic"
+                (Printf.sprintf
+                   "Atomic.%s on field %s: tvar payloads must go through Tm"
+                   fn
+                   (String.concat "." (Longident.flatten fld)))
+          | _ -> ())
+      | Some "Mempool", Some "free"
+        when (not ctx.free_ok) && not ctx.binding_ok ->
+          report ~loc:e.pexp_loc ~rule:"free-discipline"
+            "Mempool.free outside Tm.defer / a ~free closure: the free \
+             would race the window's revoke"
+      | Some m, Some "make" when List.mem m node_modules ->
+          report ~loc:e.pexp_loc ~rule:"pool-alloc"
+            (Printf.sprintf
+               "%s.make bypasses the pool; allocate with %s.alloc" m m)
+      | _ -> ());
+      let deferred =
+        parent_mod lid = Some "Tm" && lid_last lid = Some "defer"
+      in
+      List.iter
+        (fun (lbl, arg) ->
+          let ctx =
+            if deferred || lbl = Asttypes.Labelled "free" then
+              { ctx with free_ok = true }
+            else ctx
+          in
+          check_expr ctx arg)
+        args
+  | _ -> default_walk ctx e
+
+and default_walk ctx e =
+  (* Generic descent: visit every sub-expression with the current context.
+     An [Ast_iterator] whose [expr] closes over a mutable ctx would lose
+     the scoping on the way back up, hence the explicit recursion. *)
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr = (fun _ e -> check_expr ctx e);
+    }
+  in
+  Ast_iterator.default_iterator.expr it e
+
+(* Does this binding mention Tm.current_txn anywhere? *)
+let mentions_current_txn vb =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt = lid; _ }
+            when lid_last lid = Some "current_txn" ->
+              found := true
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.value_binding it vb;
+  !found
+
+let check_structure str =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      value_binding =
+        (fun _ vb ->
+          let ctx =
+            { free_ok = false; binding_ok = mentions_current_txn vb }
+          in
+          check_expr ctx vb.pvb_expr);
+    }
+  in
+  it.structure it str
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lexbuf = Lexing.from_channel ic in
+      Lexing.set_filename lexbuf path;
+      Parse.implementation lexbuf)
+
+let () =
+  let expect = ref (-1) in
+  let files = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--expect-violations" :: n :: rest ->
+        expect := int_of_string n;
+        parse_args rest
+    | f :: rest ->
+        files := f :: !files;
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  (* Workflow annotations only for the real check, not fixture self-tests. *)
+  annotate := Sys.getenv_opt "GITHUB_ACTIONS" <> None && !expect < 0;
+  List.iter
+    (fun f ->
+      match parse_file f with
+      | str -> check_structure str
+      | exception e ->
+          incr violations;
+          Printf.eprintf "%s: [parse] %s\n" f (Printexc.to_string e))
+    (List.rev !files);
+  if !expect >= 0 then begin
+    if !violations <> !expect then begin
+      Printf.eprintf
+        "hohtx_lint self-test: expected %d violations, found %d\n" !expect
+        !violations;
+      exit 1
+    end
+  end
+  else if !violations > 0 then begin
+    Printf.eprintf "hohtx_lint: %d violation(s)\n" !violations;
+    exit 1
+  end

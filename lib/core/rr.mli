@@ -30,9 +30,13 @@ val instantiate :
   (module S) ->
   ?config:Config.t ->
   hash:('r -> int) ->
+  ?sid:('r -> int) ->
   equal:('r -> 'r -> bool) ->
   unit ->
   'r ops
+(** [sid] maps a reference to its TxSan shadow-slot key (pool-backed
+    structures pass [Mempool.san_key]); defaults to [hash], whose values
+    miss the sanitizer's shadow tables and are treated as benign. *)
 
 (** The three strict implementations (cache-shaped; O(T)-ish [Revoke]). *)
 

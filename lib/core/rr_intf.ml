@@ -75,10 +75,14 @@ type 'r ops = {
 }
 
 let instantiate (type r) (module M : S) ?config ~(hash : r -> int)
-    ~(equal : r -> r -> bool) () : r ops =
+    ?(sid : r -> int = hash) ~(equal : r -> r -> bool) () : r ops =
   let t = M.create ?config ~hash ~equal () in
   (* The single funnel every implementation's operations pass through, so
-     one yield point per method covers all six RRs under DST. *)
+     one yield point (and one TxSan protocol hook) per method covers all
+     six RRs under DST. [sid] maps a reference to its sanitizer shadow-slot
+     key (pool nodes pass [Mempool.san_key]); it defaults to [hash], whose
+     values simply miss the shadow tables, keeping non-pool references
+     benign. *)
   let plain =
     {
       name = M.name;
@@ -87,22 +91,35 @@ let instantiate (type r) (module M : S) ?config ~(hash : r -> int)
       reserve =
         (fun txn r ->
           Dst.point Dst.Rr_reserve;
+          San.rr_reserve ~tid:(Tm.thread_id txn) ~node:(sid r);
           M.reserve t txn r);
       release =
         (fun txn r ->
           Dst.point Dst.Rr_release;
+          San.rr_release ~tid:(Tm.thread_id txn) ~node:(sid r);
           M.release t txn r);
       release_all =
         (fun txn ->
           Dst.point Dst.Rr_release;
+          San.rr_release_all ~tid:(Tm.thread_id txn);
           M.release_all t txn);
       get =
         (fun txn r ->
           Dst.point Dst.Rr_get;
-          M.get t txn r);
+          if San.enabled () then begin
+            let tid = Tm.thread_id txn in
+            San.rr_check_begin ~tid;
+            let res = M.get t txn r in
+            San.rr_check_end ~tid ~site:(Tm.txn_site txn) ~node:(sid r)
+              ~ok:(res <> None);
+            res
+          end
+          else M.get t txn r);
       revoke =
         (fun txn r ->
           Dst.point Dst.Rr_revoke;
+          San.rr_revoke ~tid:(Tm.thread_id txn) ~site:(Tm.txn_site txn)
+            ~node:(sid r);
           M.revoke t txn r);
     }
   in
@@ -127,24 +144,26 @@ let instantiate (type r) (module M : S) ?config ~(hash : r -> int)
           ("gets", float_of_int (Atomic.get gets));
           ("get_misses", float_of_int (Atomic.get get_misses));
         ]);
+    (* Delegate to [plain] rather than [M] directly so the DST yield
+       points and TxSan hooks stay in force under telemetry. *)
     {
       plain with
       reserve =
         (fun txn r ->
           Atomic.incr reserves;
-          M.reserve t txn r);
+          plain.reserve txn r);
       release =
         (fun txn r ->
           Atomic.incr releases;
-          M.release t txn r);
+          plain.release txn r);
       revoke =
         (fun txn r ->
           Atomic.incr revokes;
-          M.revoke t txn r);
+          plain.revoke txn r);
       get =
         (fun txn r ->
           Atomic.incr gets;
-          match M.get t txn r with
+          match plain.get txn r with
           | None ->
               Atomic.incr get_misses;
               None

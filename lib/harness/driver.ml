@@ -11,6 +11,7 @@ type result = {
   max_backlog : int option;
   leaked : int option;
   telemetry : Telemetry.Report.t option;
+  san : (string * int) list option;
 }
 
 (* Two-phase start barrier. A single shared countdown would let workers
@@ -89,7 +90,13 @@ let worker ~spec ~handle ~verify ~barrier d () =
         w_stats = Tm.Stats.copy (Tm.Thread.stats ());
       })
 
-let run ?(verify = true) spec handle =
+let run ?(verify = true) ?(san = false) spec handle =
+  (* Count mode for multi-domain runs: a raise inside one worker would tear
+     down the run mid-measurement; per-rule counts are reported instead. *)
+  if san then begin
+    San.reset ();
+    San.set_enabled ~mode:San.Count true
+  end;
   let tid = Tm.Thread.id () in
   let initial = Workload.prefill_keys spec in
   List.iter
@@ -115,6 +122,14 @@ let run ?(verify = true) spec handle =
   let outs = List.map Domain.join domains in
   let elapsed = float_of_int (Telemetry.now_ns () - t0) /. 1e9 in
   handle.Set_ops.drain ();
+  let san_counts =
+    if san then begin
+      let v = San.violations () in
+      San.set_enabled false;
+      Some v
+    end
+    else None
+  in
   let total_ops = spec.Workload.threads * spec.Workload.ops_per_thread in
   let tm = Tm.Stats.create () in
   List.iter (fun o -> Tm.Stats.add tm o.w_stats) outs;
@@ -153,6 +168,7 @@ let run ?(verify = true) spec handle =
            (Telemetry.Report.snapshot ~label:handle.Set_ops.name ~counters:tm
               ())
        else None);
+    san = san_counts;
   }
 
 let abort_rate r =
@@ -166,4 +182,15 @@ let pp_result ppf r =
     "%-10s %a: %.0f ops/s (%.2fs), aborts/attempt %.3f, fallbacks %d, %s"
     r.impl Workload.pp_spec r.spec r.throughput r.elapsed_s (abort_rate r)
     (Tm.Stats.fallbacks r.tm)
-    (match r.verdict with Ok () -> "OK" | Error e -> "FAIL: " ^ e)
+    (match r.verdict with Ok () -> "OK" | Error e -> "FAIL: " ^ e);
+  match r.san with
+  | None -> ()
+  | Some counts ->
+      let total = List.fold_left (fun a (_, n) -> a + n) 0 counts in
+      if total = 0 then Format.fprintf ppf "@ [san: clean]"
+      else
+        Format.fprintf ppf "@ [san: %a]"
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+             (fun ppf (rule, n) -> Format.fprintf ppf "%s=%d" rule n))
+          (List.filter (fun (_, n) -> n > 0) counts)

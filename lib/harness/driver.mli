@@ -22,12 +22,17 @@ type result = {
       (** post-quiescence snapshot of the measurement window (latency
           histograms, abort attribution, gauges); [Some] iff
           {!Telemetry.enabled} was on when the run started *)
+  san : (string * int) list option;
+      (** per-rule TxSan violation counts ({!San.violations} order);
+          [Some] iff the run was started with [~san:true] *)
 }
 
-val run : ?verify:bool -> Workload.spec -> Set_ops.handle -> result
+val run : ?verify:bool -> ?san:bool -> Workload.spec -> Set_ops.handle -> result
 (** [verify] (default [true]) logs every operation and runs the
-    serialization checker; disable it for pure throughput timing. The
-    calling domain must be TM-registered. *)
+    serialization checker; disable it for pure throughput timing. [san]
+    (default [false]) runs with the TxSan sanitizer enabled in [Count]
+    mode (reset before prefill, disabled again after drain) and fills the
+    result's [san] field. The calling domain must be TM-registered. *)
 
 val abort_rate : result -> float
 (** Aborts per started transaction attempt. *)

@@ -35,6 +35,11 @@ type 'a t = {
   node_id : 'a -> int;
   state : 'a -> int Atomic.t;
   poison : 'a -> unit;
+  tvar_ids : 'a -> int list;
+  probe_ids : 'a -> int list;
+  (* TxSan identity: pools hand out per-pool node ids, so shadow slots are
+     keyed by (pool group, node id) packed into one int. *)
+  san_group : int;
   next_id : int Atomic.t;
   (* Global freelist. Under [Size_class] nodes are pushed/popped one at a
      time; under [Thread_arena] whole batches move at once. Both are Treiber
@@ -50,7 +55,8 @@ type 'a t = {
 }
 
 let create ?(strategy = Thread_arena) ?(batch = 32) ~make ~node_id ~state
-    ?(poison = fun _ -> ()) () =
+    ?(poison = fun _ -> ()) ?(tvar_ids = fun _ -> [])
+    ?(probe_ids = fun _ -> []) () =
   if batch < 1 then invalid_arg "Mempool.create: batch < 1";
   let t =
     {
@@ -60,6 +66,9 @@ let create ?(strategy = Thread_arena) ?(batch = 32) ~make ~node_id ~state
       node_id;
       state;
       poison;
+      tvar_ids;
+      probe_ids;
+      san_group = San.fresh_group ();
       next_id = Atomic.make 0;
       global_nodes = Atomic.make [];
       global_batches = Atomic.make [];
@@ -90,6 +99,7 @@ let create ?(strategy = Thread_arena) ?(batch = 32) ~make ~node_id ~state
 
 let strategy t = t.strategy
 let id_of t n = t.node_id n
+let san_key t n = San.node_key ~group:t.san_group ~node:(t.node_id n)
 let is_live t n = Atomic.get (t.state n) = st_live
 
 let rec push_global t n =
@@ -176,6 +186,9 @@ let alloc t ~thread =
     failwith "Mempool.alloc: pooled node was not free";
   Atomic.incr t.allocs;
   bump_high_water t;
+  if San.enabled () then
+    San.mp_alloc ~thread ~node:(san_key t n) ~tvars:(t.tvar_ids n)
+      ~probes:(t.probe_ids n) ~stamp:(Tm.clock ());
   n
 
 let stash t ~thread n =
@@ -208,7 +221,13 @@ let free t ~thread n =
   let st = t.state n in
   if not (Atomic.compare_and_set st st_live st_free) then
     raise (Double_free (t.node_id n));
+  (* Poisoning is a sanctioned raw write to the dying node's tvars. *)
+  San.exempt_begin ();
   t.poison n;
+  San.exempt_end ();
+  if San.enabled () then
+    San.mp_free ~thread ~site:(Tm.current_site ()) ~node:(san_key t n)
+      ~stamp:(Tm.clock ());
   Atomic.incr t.frees;
   stash t ~thread n
 

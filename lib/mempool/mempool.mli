@@ -50,6 +50,8 @@ val create :
   node_id:('a -> int) ->
   state:('a -> int Atomic.t) ->
   ?poison:('a -> unit) ->
+  ?tvar_ids:('a -> int list) ->
+  ?probe_ids:('a -> int list) ->
   unit ->
   'a t
 (** [create ~make ~node_id ~state ()] builds a pool of nodes fabricated by
@@ -75,6 +77,16 @@ val is_live : 'a t -> 'a -> bool
 
 val id_of : 'a t -> 'a -> int
 (** The pool-assigned id of a node. O(1); works on live and freed nodes. *)
+
+val san_key : 'a t -> 'a -> int
+(** The node's identity in TxSan's shadow tables: {!San.node_key} over this
+    pool's sanitizer group and {!id_of}. [tvar_ids] (optional in
+    {!create}) lists the node's tvar uids so the sanitizer can map tvar
+    accesses back to the owning slot; pools created without it still track
+    slot-level events (alloc/free/reserve/retire) but not tvar-level
+    use-after-free. [probe_ids] marks the subset serving as validity flags
+    ([deleted]): probing those on a possibly-freed pointer is sanctioned by
+    the discipline and exempt from the sanitizer's eager read-UAF rule. *)
 
 val stats : 'a t -> Stats.t
 val strategy : 'a t -> strategy

@@ -13,6 +13,7 @@ type 'a per_thread = {
 type 'a t = {
   advance_threshold : int;
   free : thread:int -> 'a -> unit;
+  san_key : 'a -> int;
   global : int Atomic.t;
   advances : int Atomic.t;
   threads : 'a per_thread array;
@@ -23,12 +24,13 @@ type 'a t = {
 
 let now () = float_of_int (Telemetry.now_ns ()) /. 1e9
 
-let create ?(advance_threshold = 32) ~free () =
+let create ?(advance_threshold = 32) ~free ?(san_key = fun _ -> min_int) () =
   if advance_threshold < 1 then invalid_arg "Epoch.create";
   let t =
     {
       advance_threshold;
       free;
+      san_key;
       global = Atomic.make 2;
       (* start at 2 so [epoch - 2] is never negative *)
       advances = Atomic.make 0;
@@ -62,6 +64,7 @@ let create ?(advance_threshold = 32) ~free () =
 
 let enter t ~thread =
   Dst.point Dst.Ep_enter;
+  San.ep_enter ~thread;
   let pt = t.threads.(thread) in
   (* Announce, then re-check the global epoch: if it moved between the read
      and the announce, re-announce so we never appear active in a stale
@@ -73,7 +76,9 @@ let enter t ~thread =
   in
   loop ()
 
-let leave t ~thread = Atomic.set t.threads.(thread).announce 0
+let leave t ~thread =
+  San.ep_leave ~thread;
+  Atomic.set t.threads.(thread).announce 0
 
 let bump_max_backlog t =
   let cur = Atomic.get t.backlog in
@@ -119,6 +124,8 @@ let try_advance t =
 
 let retire t ~thread n =
   Dst.point Dst.Ep_retire;
+  if San.enabled () then
+    San.retire ~thread ~site:(Tm.current_site ()) ~node:(t.san_key n);
   let pt = t.threads.(thread) in
   let e = Atomic.get t.global in
   let bag = pt.bags.(e mod 3) in

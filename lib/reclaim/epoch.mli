@@ -11,9 +11,16 @@
 type 'a t
 
 val create :
-  ?advance_threshold:int -> free:(thread:int -> 'a -> unit) -> unit -> 'a t
+  ?advance_threshold:int ->
+  free:(thread:int -> 'a -> unit) ->
+  ?san_key:('a -> int) ->
+  unit ->
+  'a t
 (** [advance_threshold] is how many retires a thread performs between
-    attempts to advance the global epoch (default 32). *)
+    attempts to advance the global epoch (default 32). [san_key] maps a node
+    to its TxSan shadow-slot key (pool-backed structures pass
+    [Mempool.san_key]); the default maps every node to a key the sanitizer
+    ignores. *)
 
 val enter : 'a t -> thread:int -> unit
 (** Mark the thread active in the current epoch. Must not nest. *)

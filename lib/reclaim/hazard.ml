@@ -14,6 +14,8 @@ type 'a t = {
   scan_threshold : int;
   free : thread:int -> 'a -> unit;
   node_id : 'a -> int;
+  san_key : 'a -> int;
+  san_group : int;
   (* Flattened [max_threads * slots_per_thread] hazard slots. *)
   slots : 'a option Atomic.t array;
   threads : 'a per_thread array;
@@ -24,7 +26,8 @@ type 'a t = {
 
 let now () = float_of_int (Telemetry.now_ns ()) /. 1e9
 
-let create ?(slots_per_thread = 3) ?(scan_threshold = 64) ~free ~node_id () =
+let create ?(slots_per_thread = 3) ?(scan_threshold = 64) ~free ~node_id
+    ?(san_key = fun _ -> min_int) () =
   if slots_per_thread < 1 then invalid_arg "Hazard.create: slots_per_thread";
   if scan_threshold < 1 then invalid_arg "Hazard.create: scan_threshold";
   let nthreads = Tm.Thread.max_threads in
@@ -34,6 +37,8 @@ let create ?(slots_per_thread = 3) ?(scan_threshold = 64) ~free ~node_id () =
       scan_threshold;
       free;
       node_id;
+      san_key;
+      san_group = San.fresh_group ();
       slots =
         Array.init (nthreads * slots_per_thread) (fun _ -> Atomic.make None);
       threads =
@@ -71,9 +76,11 @@ let protect t ~thread ~slot n =
   (* The publish race lives here: between the caller's read of the pointer
      and this store, a concurrent retire+scan can free the node. *)
   Dst.point Dst.Hp_protect;
+  San.hp_protect ~group:t.san_group ~thread ~slot ~node:(t.san_key n);
   Atomic.set t.slots.(slot_index t ~thread ~slot) (Some n)
 
 let clear t ~thread ~slot =
+  San.hp_clear ~group:t.san_group ~thread ~slot;
   Atomic.set t.slots.(slot_index t ~thread ~slot) None
 
 let clear_all t ~thread =
@@ -138,6 +145,8 @@ let scan t ~thread = scan_thread t ~thread t.threads.(thread)
 
 let retire t ~thread n =
   Dst.point Dst.Hp_retire;
+  if San.enabled () then
+    San.retire ~thread ~site:(Tm.current_site ()) ~node:(t.san_key n);
   let pt = t.threads.(thread) in
   pt.retired <- { node = n; retired_at = now () } :: pt.retired;
   pt.retired_count <- pt.retired_count + 1;

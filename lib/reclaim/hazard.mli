@@ -19,12 +19,15 @@ val create :
   ?scan_threshold:int ->
   free:(thread:int -> 'a -> unit) ->
   node_id:('a -> int) ->
+  ?san_key:('a -> int) ->
   unit ->
   'a t
 (** [create ~free ~node_id ()] builds a hazard-pointer domain whose scans
     call [free] on unprotected retired nodes. [slots_per_thread] defaults to
     3 (enough for Harris–Michael traversals); [scan_threshold] defaults to
-    64. *)
+    64. [san_key] maps a node to its TxSan shadow-slot key (pool-backed
+    structures pass [Mempool.san_key]); the default maps every node to a key
+    the sanitizer ignores. *)
 
 val protect : 'a t -> thread:int -> slot:int -> 'a -> unit
 (** Publish a hazard. The caller must re-validate its source pointer after

@@ -48,6 +48,13 @@ let random_level t ~thread =
 
 exception Stale_hint
 
+(* TxSan: record a pred-array entry as a carried hint (its shadow
+   generation is captured when the noting transaction commits). The head
+   sentinel is not pool-backed and never reclaimed, so it is not noted. *)
+let note_hint txn t node =
+  if San.enabled () && not (Snode.equal node t.head) then
+    San.hint_note ~tid:(Tm.thread_id txn) ~node:(Mempool.san_key t.pool node)
+
 (* Full descent inside the current transaction, refreshing every hint;
    the fallback when a hint from an earlier window was removed. *)
 let collect_preds txn t ~key preds =
@@ -56,6 +63,7 @@ let collect_preds txn t ~key preds =
     | Some m when Tm.read txn m.Snode.key < key -> walk m lvl
     | _ ->
         preds.(lvl) <- node;
+        note_hint txn t node;
         if lvl > 0 then walk node (lvl - 1)
   in
   walk t.head (Snode.max_level - 1)
@@ -81,6 +89,14 @@ let fresh_pred txn t ~key ~preds l =
           && (Tm.read txn hint.Snode.key >= key
              || Tm.read txn hint.Snode.level <= l))
   then raise Stale_hint;
+  (* The hint survived validation and is about to seed the level-[l] walk.
+     Under bug #3 only [deleted] was checked, so the use counts as
+     unrevalidated: TxSan flags it if the hint's shadow generation moved
+     (freed or recycled) since the window that noted it. *)
+  if San.enabled () && not (Snode.equal hint t.head) then
+    San.hint_use ~tid:(Tm.thread_id txn) ~site:(Tm.txn_site txn)
+      ~node:(Mempool.san_key t.pool hint)
+      ~revalidated:(not (Dst.Inject.bug Dst.Inject.Stale_hint));
   let rec go p =
     match Tm.read txn p.Snode.next.(l) with
     | Some m when Tm.read txn m.Snode.key < key -> go m
@@ -125,6 +141,7 @@ let apply t ~thread ?(read_phase = false) key ~site ~on_position =
             else walk m lvl (visited + 1)
         | curr ->
             preds.(lvl) <- node;
+            note_hint txn t node;
             if lvl = 0 then
               Rr.Hoh.Finish (on_position txn ~preds ~pred0:node ~curr)
             else walk node (lvl - 1) visited

@@ -31,10 +31,20 @@ let poison n =
   Tm.poke n.prev None;
   Tm.poke n.deleted true
 
+let tvar_ids n =
+  [
+    Tm.tvar_id n.key;
+    Tm.tvar_id n.next;
+    Tm.tvar_id n.prev;
+    Tm.tvar_id n.deleted;
+  ]
+
 let make_pool ?strategy () =
   Mempool.create ?strategy ~make ~node_id:(fun n -> n.id)
     ~state:(fun n -> n.pstate)
-    ~poison ()
+    ~poison ~tvar_ids
+    ~probe_ids:(fun n -> [ Tm.tvar_id n.deleted ])
+    ()
 
 let sentinel () = make (-1)
 
@@ -47,7 +57,11 @@ let equal a b = a == b
 let alloc pool ~thread =
   let n = Mempool.alloc pool ~thread in
   Atomic.incr n.gen;
+  (* Re-initialization pokes on a node no thread can reach yet: exempt from
+     TxSan's non-transactional-access rule, like the poison pokes in free. *)
+  San.exempt_begin ();
   Tm.poke n.deleted false;
   Tm.poke n.next None;
   Tm.poke n.prev None;
+  San.exempt_end ();
   n

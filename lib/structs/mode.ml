@@ -43,6 +43,39 @@ let give_back_spare pool ~thread spare =
                   spare := None
               | None -> ()))
 
+(* Mirror the TxSan funnel that [Rr.instantiate] wraps around the six RR
+   implementations, so the baseline modes' reservations answer to the same
+   window discipline (reservation-leak at window end, unchecked-carry until
+   a successful [get], stamp-window use-after-free at the reserving
+   commit). [key] is the pool-backed shadow-slot key. *)
+let san_ops ~key (ops : 'n Rr.ops) : 'n Rr.ops =
+  {
+    ops with
+    reserve =
+      (fun txn n ->
+        San.rr_reserve ~tid:(Tm.thread_id txn) ~node:(key n);
+        ops.Rr.reserve txn n);
+    release =
+      (fun txn n ->
+        San.rr_release ~tid:(Tm.thread_id txn) ~node:(key n);
+        ops.Rr.release txn n);
+    release_all =
+      (fun txn ->
+        San.rr_release_all ~tid:(Tm.thread_id txn);
+        ops.Rr.release_all txn);
+    get =
+      (fun txn n ->
+        if San.enabled () then begin
+          let tid = Tm.thread_id txn in
+          San.rr_check_begin ~tid;
+          let res = ops.Rr.get txn n in
+          San.rr_check_end ~tid ~site:(Tm.txn_site txn) ~node:(key n)
+            ~ok:(res <> None);
+          res
+        end
+        else ops.Rr.get txn n);
+  }
+
 let no_op_ops name : 'n Rr.ops =
   {
     Rr.name;
@@ -67,7 +100,8 @@ let tmhp_mode ~pool ~deleted ~gen ~hp_threshold =
   let hazard =
     Reclaim.Hazard.create ~slots_per_thread:2 ~scan_threshold:hp_threshold
       ~free:(fun ~thread n -> Mempool.free pool ~thread n)
-      ~node_id:(Mempool.id_of pool) ()
+      ~node_id:(Mempool.id_of pool)
+      ~san_key:(Mempool.san_key pool) ()
   in
   let cur = Array.make Tm.Thread.max_threads 0 in
   let gens = Array.make Tm.Thread.max_threads 0 in
@@ -106,16 +140,17 @@ let tmhp_mode ~pool ~deleted ~gen ~hp_threshold =
     end
   in
   let ops =
-    {
-      Rr.name = "TMHP";
-      strict = true;
-      register = (fun _ -> ());
-      reserve;
-      release = (fun txn _ -> release_all txn);
-      release_all;
-      get;
-      revoke = (fun _ _ -> ());
-    }
+    san_ops ~key:(Mempool.san_key pool)
+      {
+        Rr.name = "TMHP";
+        strict = true;
+        register = (fun _ -> ());
+        reserve;
+        release = (fun txn _ -> release_all txn);
+        release_all;
+        get;
+        revoke = (fun _ _ -> ());
+      }
   in
   {
     name = "TMHP";
@@ -164,16 +199,17 @@ let ref_mode ~pool ~deleted ~rc =
   in
   let get txn n = if Tm.read txn (deleted n) then None else Some n in
   let ops =
-    {
-      Rr.name = "REF";
-      strict = true;
-      register = (fun _ -> ());
-      reserve;
-      release = (fun txn _ -> release_all txn);
-      release_all;
-      get;
-      revoke = (fun _ _ -> ());
-    }
+    san_ops ~key:(Mempool.san_key pool)
+      {
+        Rr.name = "REF";
+        strict = true;
+        register = (fun _ -> ());
+        reserve;
+        release = (fun txn _ -> release_all txn);
+        release_all;
+        get;
+        revoke = (fun _ _ -> ());
+      }
   in
   {
     name = "REF";
@@ -199,7 +235,7 @@ let ebr_mode ~pool ~deleted ~advance_threshold =
   let epoch =
     Reclaim.Epoch.create ~advance_threshold
       ~free:(fun ~thread n -> Mempool.free pool ~thread n)
-      ()
+      ~san_key:(Mempool.san_key pool) ()
   in
   let active = Array.make Tm.Thread.max_threads false in
   (* [keep] mediates the engine's release_all-then-reserve hand-off
@@ -230,16 +266,17 @@ let ebr_mode ~pool ~deleted ~advance_threshold =
   in
   let get txn n = if Tm.read txn (deleted n) then None else Some n in
   let ops =
-    {
-      Rr.name = "EBR";
-      strict = true;
-      register = (fun _ -> ());
-      reserve;
-      release = (fun txn _ -> release_all txn);
-      release_all;
-      get;
-      revoke = (fun _ _ -> ());
-    }
+    san_ops ~key:(Mempool.san_key pool)
+      {
+        Rr.name = "EBR";
+        strict = true;
+        register = (fun _ -> ());
+        reserve;
+        release = (fun txn _ -> release_all txn);
+        release_all;
+        get;
+        revoke = (fun _ _ -> ());
+      }
   in
   {
     name = "EBR";
@@ -278,7 +315,10 @@ let ebr_mode ~pool ~deleted ~advance_threshold =
 
 let rr_mode m ~pool ~hash ~equal ~rr_config =
   let module M = (val m : Rr.S) in
-  let ops = Rr.instantiate m ?config:rr_config ~hash ~equal () in
+  let ops =
+    Rr.instantiate m ?config:rr_config ~hash
+      ~sid:(Mempool.san_key pool) ~equal ()
+  in
   {
     name = M.name;
     strict = M.strict;

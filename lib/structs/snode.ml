@@ -30,10 +30,16 @@ let poison n =
   Tm.poke n.deleted true;
   Array.iter (fun nx -> Tm.poke nx None) n.next
 
+let tvar_ids n =
+  Tm.tvar_id n.key :: Tm.tvar_id n.level :: Tm.tvar_id n.deleted
+  :: Array.to_list (Array.map Tm.tvar_id n.next)
+
 let make_pool ?strategy () =
   Mempool.create ?strategy ~make ~node_id:(fun n -> n.id)
     ~state:(fun n -> n.pstate)
-    ~poison ()
+    ~poison ~tvar_ids
+    ~probe_ids:(fun n -> [ Tm.tvar_id n.deleted ])
+    ()
 
 let sentinel () =
   let n = make (-1) in
@@ -49,6 +55,10 @@ let equal a b = a == b
 let alloc pool ~thread =
   let n = Mempool.alloc pool ~thread in
   Atomic.incr n.gen;
+  (* Re-initialization pokes on a node no thread can reach yet: exempt from
+     TxSan's non-transactional-access rule, like the poison pokes in free. *)
+  San.exempt_begin ();
   Tm.poke n.deleted false;
   Array.iter (fun nx -> Tm.poke nx None) n.next;
+  San.exempt_end ();
   n

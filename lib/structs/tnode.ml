@@ -31,10 +31,21 @@ let poison n =
   Tm.poke n.right None;
   Tm.poke n.deleted true
 
+let tvar_ids n =
+  [
+    Tm.tvar_id n.key;
+    Tm.tvar_id n.left;
+    Tm.tvar_id n.right;
+    Tm.tvar_id n.side;
+    Tm.tvar_id n.deleted;
+  ]
+
 let make_pool ?strategy () =
   Mempool.create ?strategy ~make ~node_id:(fun n -> n.id)
     ~state:(fun n -> n.pstate)
-    ~poison ()
+    ~poison ~tvar_ids
+    ~probe_ids:(fun n -> [ Tm.tvar_id n.deleted ])
+    ()
 
 let sentinel ~key =
   let n = make (-1) in
@@ -50,7 +61,11 @@ let equal a b = a == b
 let alloc pool ~thread =
   let n = Mempool.alloc pool ~thread in
   Atomic.incr n.gen;
+  (* Re-initialization pokes on a node no thread can reach yet: exempt from
+     TxSan's non-transactional-access rule, like the poison pokes in free. *)
+  San.exempt_begin ();
   Tm.poke n.deleted false;
   Tm.poke n.left None;
   Tm.poke n.right None;
+  San.exempt_end ();
   n

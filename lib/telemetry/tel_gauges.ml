@@ -42,6 +42,13 @@ let register ~group ~name read =
 
 let clear () = with_lock (fun () -> providers := [])
 
+(* Exact-name match only (no [#n] suffixes): singleton components use this
+   to re-register after a [clear] without duplicating themselves within a
+   window. *)
+let registered ~group ~name =
+  with_lock (fun () ->
+      List.exists (fun p -> p.p_group = group && p.p_name = name) !providers)
+
 let sample () =
   let ps = with_lock (fun () -> List.rev !providers) in
   List.map (fun p -> { group = p.p_group; name = p.p_name; values = p.read () }) ps

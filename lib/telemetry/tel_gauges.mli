@@ -21,6 +21,11 @@ val register :
 val clear : unit -> unit
 (** Drop all providers (start a fresh measurement window). *)
 
+val registered : group:string -> name:string -> bool
+(** Whether a provider with exactly this group and name is present
+    (ordinal [#n] duplicates don't count). Singleton components check this
+    to re-register after {!clear} without duplicating themselves. *)
+
 val sample : unit -> sample list
 (** Evaluate every provider, in registration order. *)
 

@@ -1,4 +1,4 @@
-module Stats = Tm_stats
+module Stats = Telemetry.Counters
 
 type abort_cause = Read_invalid | Lock_busy | Serial_pending | User_retry
 
@@ -53,7 +53,7 @@ type txn = {
          locked words instead of aborting, and the attempt loop never
          escalates to the serial fallback (which would advance the global
          clock on behalf of a transaction that publishes nothing). *)
-  stats : Tm_stats.t;
+  stats : Stats.t;
       (* The owning thread's counter record, so deep read-path events
          (timestamp extensions) can be attributed without threading the
          thread state through every call. *)
@@ -101,7 +101,7 @@ type thread_state = {
   id : int;
   txn : txn;
   backoff : Backoff.t;
-  t_stats : Tm_stats.t;
+  t_stats : Stats.t;
   t_slot : Telemetry.slot;
 }
 
@@ -192,7 +192,7 @@ module Thread = struct
            padding keeps one domain's updates from invalidating the
            cache line under a neighbouring domain's records (DLS roots
            for concurrently spawned domains are allocated together). *)
-        let t_stats = Pad.copy_as_padded (Tm_stats.create ()) in
+        let t_stats = Pad.copy_as_padded (Stats.create ()) in
         let st =
           { id; txn = fresh_txn id t_stats;
             backoff = Pad.copy_as_padded (Backoff.create ());
@@ -208,6 +208,9 @@ module Thread = struct
     match Dst.Tls.get tls_key with
     | None -> ()
     | Some st ->
+        (* Leak check before the id can be recycled. [San.thread_exit]
+           never raises (this runs in [Fun.protect] finalizers). *)
+        San.thread_exit ~tid:st.id;
         Dst.Tls.set tls_key None;
         release_id st.id
 
@@ -491,12 +494,20 @@ let rec read_uncached : 'a. txn -> 'a tvar -> 'a =
            (rset_dup_at txn (txn.rn - 1) tv.lock l1 tv.uid
            || rset_dup_at txn (txn.rn - 2) tv.lock l1 tv.uid)
        then rset_push txn tv.lock l1 tv.uid;
+       (* The read has validated against [rv]; TxSan checks it against the
+          slot's free/reservation shadow at exactly this point, so doomed
+          reads that version checks already rejected are never reported. *)
+       San.tm_read ~tid:txn.tid ~site:txn.site ~rv:txn.rv tv.uid;
        v
      end
    end
 
 let read (txn : txn) tv =
-  if txn.serial then Atomic.get tv.cell
+  if txn.serial then begin
+    let v = Atomic.get tv.cell in
+    San.tm_read ~tid:txn.tid ~site:txn.site ~rv:txn.rv tv.uid;
+    v
+  end
   else begin
     if Dst.point_fails Dst.Tm_read then begin
       txn.conflict_uid <- tv.uid;
@@ -519,11 +530,15 @@ let write (txn : txn) tv v =
        serial stamp so concurrent speculative readers abort rather than
        pairing the new value with an old version. *)
     Dst.point Dst.Tm_serial_write;
+    San.tm_serial_write ~tid:txn.tid ~site:txn.site ~wv:txn.serial_wv tv.uid;
     Atomic.set tv.lock ((txn.serial_wv lsl 1) lor 1);
     Atomic.set tv.cell v;
     Atomic.set tv.lock (txn.serial_wv lsl 1)
   end
-  else wset_put txn tv v
+  else begin
+    San.tm_write ~tid:txn.tid ~site:txn.site ~rv:txn.rv tv.uid;
+    wset_put txn tv v
+  end
 
 let retry (txn : txn) =
   if txn.serial then failwith "Tm.retry: serial transactions are irrevocable";
@@ -547,7 +562,8 @@ let unlock_first_n txn n =
   for i = 0 to n - 1 do
     let (W e) = txn.wset.(i) in
     let cur = Atomic.get e.tv.lock in
-    Atomic.set e.tv.lock (cur land lnot 1)
+    Atomic.set e.tv.lock (cur land lnot 1);
+    San.tm_unlock ~tid:txn.tid ~site:txn.site ~wv:(-1) e.tv.uid
   done
 
 let commit (txn : txn) =
@@ -567,6 +583,12 @@ let commit (txn : txn) =
       done
     end;
     txn.stamp <- txn.rv;
+    (* [now] is a fresh clock sample: a read-only commit has no write
+       version, but TxSan's reservation checks need to know what "had
+       already happened" when the reservation became real. *)
+    if San.enabled () then
+      San.tm_commit ~tid:txn.tid ~site:txn.site ~rv:txn.rv
+        ~now:(Gclock.sample ());
     run_defers txn
   end
   else begin
@@ -600,6 +622,7 @@ let commit (txn : txn) =
             txn.conflict_uid <- e.tv.uid;
             raise (Abort Lock_busy)
           end;
+          San.tm_lock ~tid:txn.tid e.tv.uid;
           lock_from (i + 1)
         end
       in
@@ -638,10 +661,12 @@ let commit (txn : txn) =
       Dst.point Dst.Tm_publish;
       for i = 0 to txn.wn - 1 do
         let (W e) = txn.wset.(i) in
-        Atomic.set e.tv.lock (wv lsl 1)
+        Atomic.set e.tv.lock (wv lsl 1);
+        San.tm_unlock ~tid:txn.tid ~site:txn.site ~wv e.tv.uid
       done;
       Atomic.set flag false;
       txn.stamp <- wv;
+      San.tm_commit ~tid:txn.tid ~site:txn.site ~rv:txn.rv ~now:wv;
       run_defers txn
     with
     | Abort _ as e -> raise e
@@ -691,15 +716,19 @@ let serial_run st f =
       txn.serial <- true;
       Dst.point Dst.Tm_gclock;
       txn.serial_wv <- Gclock.advance ();
+      San.tm_serial_begin ~tid:txn.tid ~wv:txn.serial_wv;
       txn.active <- true;
       txn.rv <- txn.serial_wv;
       txn.defers <- [];
       txn.read_only <- true;
       let finish v =
         txn.stamp <- txn.serial_wv;
+        San.tm_commit ~tid:txn.tid ~site:txn.site ~rv:txn.serial_wv
+          ~now:txn.serial_wv;
         run_defers txn;
         txn.active <- false;
         txn.serial <- false;
+        San.tm_serial_end ~tid:txn.tid;
         v
       in
       match f txn with
@@ -708,6 +737,8 @@ let serial_run st f =
           txn.defers <- [];
           txn.active <- false;
           txn.serial <- false;
+          San.tm_serial_end ~tid:txn.tid;
+          San.tm_abandon ~tid:txn.tid;
           raise e)
 
 (* ---- the atomic runner ---- *)
@@ -762,7 +793,7 @@ let atomic_stamped ?site ?max_attempts ?(read_phase = false) f =
        single immutable-bool test per attempt instead of an Atomic.get. *)
     let tele = Telemetry.enabled () in
     let slot = st.t_slot in
-    if tele then
+    if tele || San.enabled () then
       txn.site <- (match site with Some s -> s | None -> no_site);
     txn.read_phase <- read_phase;
     let op_start = if tele then Telemetry.now_ns () else 0 in
@@ -813,6 +844,7 @@ let atomic_stamped ?site ?max_attempts ?(read_phase = false) f =
         | exception Abort cause ->
             txn.active <- false;
             reset_logs txn;
+            San.tm_abort ~tid:txn.tid;
             if tele then begin
               Telemetry.Histogram.record slot.attempts
                 (Telemetry.now_ns () - t0);
@@ -849,6 +881,7 @@ let atomic_stamped ?site ?max_attempts ?(read_phase = false) f =
         | exception e ->
             txn.active <- false;
             reset_logs txn;
+            San.tm_abandon ~tid:txn.tid;
             raise e
       end
     in
@@ -876,15 +909,28 @@ let peek tv =
     else
       let v = Atomic.get tv.cell in
       let l2 = Atomic.get tv.lock in
-      if l1 <> l2 then go () else v
+      if l1 <> l2 then go ()
+      else begin
+        San.nontxn_read tv.uid;
+        v
+      end
   in
   go ()
 
 let poke tv v =
+  San.nontxn_write tv.uid;
   let wv = Gclock.advance () in
   Atomic.set tv.lock ((wv lsl 1) lor 1);
   Atomic.set tv.cell v;
   Atomic.set tv.lock (wv lsl 1)
+
+let clock () = Gclock.sample ()
+let txn_site (txn : txn) = txn.site
+
+let current_site () =
+  match Dst.Tls.get Thread.tls_key with
+  | Some st when st.txn.active -> st.txn.site
+  | _ -> no_site
 
 (* White-box hooks for the read/write-set tests. *)
 let reads_logged (txn : txn) = txn.rn

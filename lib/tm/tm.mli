@@ -21,8 +21,9 @@
     the transaction runs irrevocably under a global serial token, after
     waiting for in-flight committers to quiesce. *)
 
-module Stats = Tm_stats
-(** Per-thread commit/abort counters; see {!Tm_stats}. *)
+module Stats = Telemetry.Counters
+(** Per-thread commit/abort counters; an alias of {!Telemetry.Counters}
+    (which re-homed the old [Tm_stats] record). *)
 
 type 'a tvar
 (** A transactional variable. All access from inside a transaction goes
@@ -69,7 +70,7 @@ module Thread : sig
   val id : unit -> int
   (** This domain's id, registering it on first use. *)
 
-  val stats : unit -> Tm_stats.t
+  val stats : unit -> Telemetry.Counters.t
   (** The calling domain's live statistics record (updated in place by
       {!atomic}; copy it before the domain finishes if it must outlive the
       run). *)
@@ -201,3 +202,14 @@ val current_txn : unit -> txn option
     normally run stand-alone detect that they were called {e inside} an
     enclosing transaction (flat nesting) and defer side effects — such as
     returning an unused node to a pool — until the enclosing commit. *)
+
+val clock : unit -> int
+(** A sample of the global version clock. TxSan timestamps its shadow
+    events with this so violation reports order against commit stamps. *)
+
+val txn_site : txn -> string
+(** The telemetry site label of the enclosing {!atomic} call (["?"] when
+    unlabeled or when neither telemetry nor TxSan is enabled). *)
+
+val current_site : unit -> string
+(** {!txn_site} of the calling domain's active transaction, or ["?"]. *)
