@@ -25,7 +25,7 @@ let ops_per_thread p = if p.quick then 2000 else 50_000
 let list_window ~threads = if threads <= 4 then 16 else 8
 let tree_window ~threads = if threads <= 4 then 24 else 12
 
-type curve = { label : string; make : threads:int -> Set_ops.handle }
+type curve = { label : string; make : threads:int -> Store.t }
 
 let curve label make = { label; make }
 
@@ -311,7 +311,7 @@ let reclaim_bench p =
   let rows =
     List.map
       (fun (label, make) ->
-        let h : Set_ops.handle = make () in
+        let h : Store.t = make () in
         let r = Driver.run ~verify:p.verify spec h in
         (label, r))
       (([

@@ -1,0 +1,579 @@
+(* Sustained-load service harness (`main.exe service`).
+
+   Drives a sharded Service.t the way a serving system sees traffic
+   instead of the paper's fixed-op-count microbenchmarks: open- or
+   closed-loop arrivals, Zipfian key skew, a read/write/scan/multi mix,
+   a warmup window followed by a steady-state measurement window, and
+   per-op-class latency quantiles (p50/p99/p999) taken from
+   lib/telemetry histograms. The run emits a [hohtx-load/1] JSON
+   artifact; `main.exe service-smoke` runs a miniature and validates the
+   emitted file against the schema (the @service-load-smoke alias).
+
+   Open-loop latency is coordinated-omission aware: each request has a
+   scheduled arrival time on a fixed cadence, and its latency is
+   completion minus *scheduled* arrival — a stalled service accumulates
+   the backlog delay into every queued request instead of silently
+   pausing the clock. Closed-loop measures completion minus issue. *)
+
+open Harness
+module Spec = Factories.Spec
+module Json = Telemetry.Json
+module Hist = Telemetry.Histogram
+
+let schema = "hohtx-load/1"
+let default_out = "BENCH_service.json"
+
+type arrival = Open_loop of float  (** target req/s, all threads *) | Closed_loop
+
+type params = {
+  spec : Spec.t;  (** per-shard store recipe + shards/fuse knobs *)
+  threads : int;
+  key_bits : int;
+  theta : float;  (** Zipfian skew; 0 = uniform *)
+  read_pct : int;
+  scan_pct : int;  (** remainder after reads+scans splits insert/remove *)
+  multi_pct : int;  (** % of requests issued as cross-shard 2PC multis *)
+  batch : int;  (** point ops per request (router batches per shard) *)
+  arrival : arrival;
+  warmup_s : float;
+  measure_s : float;
+  seed : int;
+  json_stdout : bool;
+  out : string;
+}
+
+let scan_count = 16
+
+(* ---- request generation ---- *)
+
+type req = Req_batch of Store.op array | Req_multi of Store.op array
+
+let gen_point zipf rng p =
+  let key = Workload.Zipf.draw zipf rng in
+  let roll = Workload.Rng.int rng 100 in
+  if roll < p.read_pct then Store.Get key
+  else if roll < p.read_pct + p.scan_pct then
+    Store.Scan { low = key; count = scan_count }
+  else if (roll - p.read_pct - p.scan_pct) mod 2 = 0 then Store.Insert key
+  else Store.Remove key
+
+let gen_req zipf rng p =
+  if Workload.Rng.int rng 100 < p.multi_pct then begin
+    (* a two-key transfer-shaped multi: remove one key, insert another —
+       routed to (usually) different shards *)
+    let k1 = Workload.Zipf.draw zipf rng in
+    let k2 = Workload.Zipf.draw zipf rng in
+    if k1 = k2 then Req_batch [| Store.Get k1 |]
+    else Req_multi [| Store.Remove k1; Store.Insert k2 |]
+  end
+  else Req_batch (Array.init p.batch (fun _ -> gen_point zipf rng p))
+
+(* ---- load workers ---- *)
+
+type phase = Warmup | Measure | Done
+
+type class_hists = {
+  h_get : Hist.t;
+  h_scan : Hist.t;
+  h_write : Hist.t;
+  h_multi : Hist.t;
+}
+
+let class_hists () =
+  {
+    h_get = Hist.create ();
+    h_scan = Hist.create ();
+    h_write = Hist.create ();
+    h_multi = Hist.create ();
+  }
+
+let reset_class_hists h =
+  Hist.reset h.h_get;
+  Hist.reset h.h_scan;
+  Hist.reset h.h_write;
+  Hist.reset h.h_multi
+
+type worker_out = {
+  w_hists : class_hists;
+  w_reqs : int;  (** requests completed in the measurement window *)
+  w_multi_aborts : int;
+  w_behind_ns : int;  (** open loop: worst lag behind the arrival schedule *)
+}
+
+let worker ~svc ~p ~zipf ~phase d () =
+  Tm.Thread.with_registered (fun tid ->
+      let rng = Workload.Rng.create ~seed:p.seed ~thread:(d + 1) in
+      let hists = class_hists () in
+      let interval_ns =
+        match p.arrival with
+        | Closed_loop -> 0.
+        | Open_loop rate -> float_of_int p.threads /. rate *. 1e9
+      in
+      let base = Telemetry.now_ns () in
+      let i = ref 0 in
+      let measured = ref 0 in
+      let multi_aborts = ref 0 in
+      let behind = ref 0 in
+      let measuring = ref false in
+      let record h ~scheduled ~completed =
+        if !measuring then Hist.record h (completed - scheduled)
+      in
+      let continue = ref true in
+      while !continue do
+        (match Atomic.get phase with
+        | Warmup -> ()
+        | Measure ->
+            if not !measuring then begin
+              (* steady state begins: drop warmup samples *)
+              reset_class_hists hists;
+              measured := 0;
+              multi_aborts := 0;
+              measuring := true
+            end
+        | Done -> continue := false);
+        if !continue then begin
+          let scheduled =
+            match p.arrival with
+            | Closed_loop -> Telemetry.now_ns ()
+            | Open_loop _ ->
+                let s = base + int_of_float (float_of_int !i *. interval_ns) in
+                let now = Telemetry.now_ns () in
+                if now < s then
+                  (* ahead of schedule: spin down to the arrival tick *)
+                  while Telemetry.now_ns () < s do
+                    Domain.cpu_relax ()
+                  done
+                else if now - s > !behind then behind := now - s;
+                s
+          in
+          (match gen_req zipf rng p with
+          | Req_batch ops ->
+              let replies = Service.exec_batch svc ~thread:tid ops in
+              let completed = Telemetry.now_ns () in
+              Array.iteri
+                (fun j op ->
+                  ignore replies.(j);
+                  let h =
+                    match op with
+                    | Store.Get _ -> hists.h_get
+                    | Store.Scan _ -> hists.h_scan
+                    | Store.Insert _ | Store.Remove _ -> hists.h_write
+                  in
+                  record h ~scheduled ~completed)
+                ops
+          | Req_multi ops -> (
+              let r = Service.multi svc ~thread:tid ops in
+              let completed = Telemetry.now_ns () in
+              record hists.h_multi ~scheduled ~completed;
+              match r with
+              | Service.Aborted _ -> if !measuring then incr multi_aborts
+              | Service.Committed _ -> ()));
+          if !measuring then incr measured;
+          incr i
+        end
+      done;
+      Service.finalize_thread svc ~thread:tid;
+      {
+        w_hists = hists;
+        w_reqs = !measured;
+        w_multi_aborts = !multi_aborts;
+        w_behind_ns = !behind;
+      })
+
+(* ---- serializability probe ----
+
+   A short fixed-op-count segment with full logging: every point op and
+   every multi sub-op is logged with its commit stamp, then the combined
+   cross-shard history must replay under Serial_check. This is the
+   "2PC over per-shard transactions stays serializable" acceptance check,
+   run against the same service instance shape as the load loop. *)
+
+let verify_probe ~p ~threads ~ops_per_thread =
+  let svc = Service.create p.spec in
+  let tid0 = Tm.Thread.id () in
+  let key_range = 1 lsl p.key_bits in
+  let initial = List.init (key_range / 2) (fun i -> (2 * i) + 1) in
+  List.iter
+    (fun k -> ignore (Service.exec svc ~thread:tid0 (Store.Insert k)))
+    initial;
+  let logs = Array.make threads [] in
+  let barrier = Atomic.make threads in
+  let body d () =
+    Tm.Thread.with_registered (fun tid ->
+        let rng = Workload.Rng.create ~seed:(p.seed + 17) ~thread:(d + 1) in
+        let log = ref [] in
+        let log_reply op key (r : Store.reply) =
+          log :=
+            {
+              Serial_check.op;
+              key;
+              result = Store.positive r.Store.outcome;
+              earliest = r.Store.earliest;
+              stamp = r.Store.stamp;
+            }
+            :: !log
+        in
+        Atomic.decr barrier;
+        while Atomic.get barrier > 0 do
+          Domain.cpu_relax ()
+        done;
+        for _ = 1 to ops_per_thread do
+          let k1 = 1 + Workload.Rng.int rng key_range in
+          let k2 = 1 + Workload.Rng.int rng key_range in
+          match Workload.Rng.int rng 4 with
+          | 0 when k1 <> k2 -> (
+              (* cross-shard transfer: both sub-ops logged at their own
+                 per-shard commit stamps *)
+              match
+                Service.multi svc ~thread:tid
+                  [| Store.Remove k1; Store.Insert k2 |]
+              with
+              | Service.Committed rs ->
+                  log_reply Workload.Remove k1 rs.(0);
+                  log_reply Workload.Insert k2 rs.(1)
+              | Service.Aborted _ -> ())
+          | 1 ->
+              log_reply Workload.Insert k1
+                (Service.exec svc ~thread:tid (Store.Insert k1))
+          | 2 ->
+              log_reply Workload.Remove k1
+                (Service.exec svc ~thread:tid (Store.Remove k1))
+          | _ ->
+              log_reply Workload.Lookup k1
+                (Service.exec svc ~thread:tid (Store.Get k1))
+        done;
+        Service.finalize_thread svc ~thread:tid;
+        logs.(d) <- List.rev !log)
+  in
+  let domains = List.init threads (fun d -> Domain.spawn (body d)) in
+  List.iter Domain.join domains;
+  Service.drain svc;
+  let ops = Array.fold_left (fun a l -> a + List.length l) 0 logs in
+  let verdict =
+    match Service.check svc with
+    | Error _ as e -> e
+    | Ok () ->
+        Serial_check.check ~initial
+          (Array.to_list (Array.map Array.of_list logs))
+  in
+  (ops, verdict)
+
+(* ---- report ---- *)
+
+let quantiles_json name h =
+  Json.Obj
+    [
+      ("class", Json.String name);
+      ("count", Json.Int (Hist.count h));
+      ("mean_ns", Json.Float (if Hist.is_empty h then 0. else Hist.mean h));
+      ("p50_ns", Json.Int (Hist.quantile h 0.5));
+      ("p99_ns", Json.Int (Hist.quantile h 0.99));
+      ("p999_ns", Json.Int (Hist.quantile h 0.999));
+      ("max_ns", Json.Int (Hist.max_value h));
+    ]
+
+let run_load p =
+  let svc = Service.create p.spec in
+  let tid = Tm.Thread.id () in
+  let key_range = 1 lsl p.key_bits in
+  (* 50% prefill, odd keys: inserts and removes both start with work *)
+  for i = 0 to (key_range / 2) - 1 do
+    ignore (Service.exec svc ~thread:tid (Store.Insert ((2 * i) + 1)))
+  done;
+  let zipf = Workload.Zipf.create ~seed:p.seed ~theta:p.theta key_range in
+  let phase = Atomic.make Warmup in
+  let domains =
+    List.init p.threads (fun d ->
+        Domain.spawn (worker ~svc ~p ~zipf ~phase d))
+  in
+  Unix.sleepf p.warmup_s;
+  Atomic.set phase Measure;
+  let t0 = Telemetry.now_ns () in
+  Unix.sleepf p.measure_s;
+  Atomic.set phase Done;
+  let t1 = Telemetry.now_ns () in
+  let outs = List.map Domain.join domains in
+  Service.drain svc;
+  let measured_s = float_of_int (t1 - t0) /. 1e9 in
+  let merged = class_hists () in
+  List.iter
+    (fun o ->
+      Hist.merge ~into:merged.h_get o.w_hists.h_get;
+      Hist.merge ~into:merged.h_scan o.w_hists.h_scan;
+      Hist.merge ~into:merged.h_write o.w_hists.h_write;
+      Hist.merge ~into:merged.h_multi o.w_hists.h_multi)
+    outs;
+  let reqs = List.fold_left (fun a o -> a + o.w_reqs) 0 outs in
+  let multi_aborts = List.fold_left (fun a o -> a + o.w_multi_aborts) 0 outs in
+  let behind = List.fold_left (fun a o -> max a o.w_behind_ns) 0 outs in
+  let check = Service.check svc in
+  (svc, measured_s, merged, reqs, multi_aborts, behind, check)
+
+let report p ~mode =
+  let svc, measured_s, hists, reqs, multi_aborts, behind, check = run_load p in
+  let probe_ops, probe_verdict =
+    verify_probe ~p ~threads:(min p.threads 4) ~ops_per_thread:400
+  in
+  let counters = Service.counters svc in
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("bench", Json.String "service");
+      ("mode", Json.String mode);
+      ("label", Json.String (Service.label svc));
+      ("spec", Spec.to_json p.spec);
+      ("shards", Json.Int (Service.shards svc));
+      ("threads", Json.Int p.threads);
+      ( "arrival",
+        Json.String
+          (match p.arrival with Open_loop _ -> "open" | Closed_loop -> "closed")
+      );
+      ( "target_rate",
+        Json.Float
+          (match p.arrival with Open_loop r -> r | Closed_loop -> 0.) );
+      ("theta", Json.Float p.theta);
+      ("key_bits", Json.Int p.key_bits);
+      ( "mix",
+        Json.Obj
+          [
+            ("read_pct", Json.Int p.read_pct);
+            ("scan_pct", Json.Int p.scan_pct);
+            ("multi_pct", Json.Int p.multi_pct);
+            ("batch", Json.Int p.batch);
+          ] );
+      ("warmup_s", Json.Float p.warmup_s);
+      ("measure_s", Json.Float measured_s);
+      ("requests", Json.Int reqs);
+      ("throughput", Json.Float (float_of_int reqs /. measured_s));
+      ("multi_aborts", Json.Int multi_aborts);
+      ("max_schedule_lag_ns", Json.Int behind);
+      ( "classes",
+        Json.List
+          [
+            quantiles_json "get" hists.h_get;
+            quantiles_json "scan" hists.h_scan;
+            quantiles_json "write" hists.h_write;
+            quantiles_json "multi" hists.h_multi;
+          ] );
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) counters) );
+      ( "service_check",
+        Json.String (match check with Ok () -> "ok" | Error e -> e) );
+      ( "serial_check",
+        Json.Obj
+          [
+            ("ops", Json.Int probe_ops);
+            ("passed", Json.Bool (probe_verdict = Ok ()));
+            ( "verdict",
+              Json.String
+                (match probe_verdict with Ok () -> "ok" | Error e -> e) );
+          ] );
+    ]
+
+(* ---- schema validation ---- *)
+
+let validate js =
+  let ( let* ) = Result.bind in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let field name conv o =
+    match Option.bind (Json.member name o) conv with
+    | Some v -> Ok v
+    | None -> err "missing or ill-typed field %S" name
+  in
+  let* s = field "schema" Json.to_string_opt js in
+  let* () = if s = schema then Ok () else err "schema %S, wanted %S" s schema in
+  let* _ = field "bench" Json.to_string_opt js in
+  let* _ = field "mode" Json.to_string_opt js in
+  let* label = field "label" Json.to_string_opt js in
+  let* spec_js = field "spec" Option.some js in
+  let* spec =
+    match Spec.of_json spec_js with
+    | Ok sp -> Ok sp
+    | Error e -> err "embedded spec: %s" e
+  in
+  let* shards = field "shards" Json.to_int js in
+  let* () = if shards >= 1 then Ok () else err "shards < 1" in
+  let* () =
+    let expect = Spec.label { spec with Spec.shards = Some shards } in
+    if String.equal label expect then Ok ()
+    else err "label %S does not match spec label %S" label expect
+  in
+  let* threads = field "threads" Json.to_int js in
+  let* () = if threads >= 1 then Ok () else err "threads < 1" in
+  let* arrival = field "arrival" Json.to_string_opt js in
+  let* () =
+    if arrival = "open" || arrival = "closed" then Ok ()
+    else err "arrival %S" arrival
+  in
+  let* theta = field "theta" Json.to_float js in
+  let* () = if theta >= 0. then Ok () else err "negative theta" in
+  let* measure = field "measure_s" Json.to_float js in
+  let* () = if measure > 0. then Ok () else err "measure_s <= 0" in
+  let* reqs = field "requests" Json.to_int js in
+  let* () = if reqs > 0 then Ok () else err "no measured requests" in
+  let* tput = field "throughput" Json.to_float js in
+  let* () = if tput > 0. then Ok () else err "throughput <= 0" in
+  let* classes = field "classes" Json.to_list js in
+  let* () =
+    let names =
+      List.filter_map
+        (fun c -> Option.bind (Json.member "class" c) Json.to_string_opt)
+        classes
+    in
+    if List.sort compare names = [ "get"; "multi"; "scan"; "write" ] then Ok ()
+    else err "classes must be exactly get/scan/write/multi"
+  in
+  let* () =
+    List.fold_left
+      (fun acc c ->
+        let* () = acc in
+        let* name = field "class" Json.to_string_opt c in
+        let* count = field "count" Json.to_int c in
+        let* p50 = field "p50_ns" Json.to_int c in
+        let* p99 = field "p99_ns" Json.to_int c in
+        let* p999 = field "p999_ns" Json.to_int c in
+        let* mx = field "max_ns" Json.to_int c in
+        let* _ = field "mean_ns" Json.to_float c in
+        if count < 0 then err "class %s: negative count" name
+        else if count > 0 && not (p50 <= p99 && p99 <= p999 && p999 <= mx)
+        then err "class %s: quantiles not monotone" name
+        else Ok ())
+      (Ok ()) classes
+  in
+  let* sc = field "service_check" Json.to_string_opt js in
+  let* () = if sc = "ok" then Ok () else err "service_check: %s" sc in
+  let* probe = field "serial_check" Option.some js in
+  let* probe_ops = field "ops" Json.to_int probe in
+  let* () = if probe_ops > 0 then Ok () else err "serial_check ran no ops" in
+  let* passed = field "passed" Json.to_bool probe in
+  if passed then Ok ()
+  else
+    let* v = field "verdict" Json.to_string_opt probe in
+    err "serial_check failed: %s" v
+
+(* ---- entry points ---- *)
+
+let write_report ~out js =
+  let oc = open_out out in
+  output_string oc (Json.to_string js);
+  output_char oc '\n';
+  close_out oc
+
+let summarize js =
+  let quantile cls q =
+    match Json.member "classes" js with
+    | Some (Json.List cs) -> (
+        match
+          List.find_opt
+            (fun c -> Json.member "class" c = Some (Json.String cls))
+            cs
+        with
+        | Some c -> (
+            match Option.bind (Json.member q c) Json.to_int with
+            | Some v -> Printf.sprintf "%.1fus" (float_of_int v /. 1e3)
+            | None -> "-")
+        | None -> "-")
+    | _ -> "-"
+  in
+  let str name =
+    match Option.bind (Json.member name js) Json.to_string_opt with
+    | Some s -> s
+    | None -> "-"
+  in
+  let flt name =
+    match Option.bind (Json.member name js) Json.to_float with
+    | Some f -> f
+    | None -> 0.
+  in
+  Printf.printf
+    "service %s (%s arrival): %.0f req/s | get p50 %s p99 %s p999 %s | write \
+     p50 %s p99 %s | multi p99 %s | checks %s/%s\n\
+     %!"
+    (str "label") (str "arrival") (flt "throughput") (quantile "get" "p50_ns")
+    (quantile "get" "p99_ns")
+    (quantile "get" "p999_ns")
+    (quantile "write" "p50_ns")
+    (quantile "write" "p99_ns")
+    (quantile "multi" "p99_ns")
+    (str "service_check")
+    (match Json.member "serial_check" js with
+    | Some probe -> (
+        match Option.bind (Json.member "passed" probe) Json.to_bool with
+        | Some true -> "serial-ok"
+        | _ -> "serial-FAIL")
+    | None -> "-")
+
+let default_params =
+  {
+    spec =
+      Spec.v ~window:8 ~shards:4 ~fuse:true Spec.Slist
+        (Structs.Mode.Rr_kind (module Rr.V));
+    threads = 4;
+    key_bits = 10;
+    theta = 0.99;
+    read_pct = 70;
+    scan_pct = 5;
+    multi_pct = 5;
+    batch = 4;
+    arrival = Closed_loop;
+    warmup_s = 1.0;
+    measure_s = 3.0;
+    seed = 0x10ad;
+    json_stdout = false;
+    out = default_out;
+  }
+
+let run p ~mode =
+  Printf.printf
+    "service load: %s, %d threads, %d shards, theta %.2f, %s arrival, warmup \
+     %.1fs + measure %.1fs -> %s\n\
+     %!"
+    (Spec.label p.spec) p.threads
+    (Option.value p.spec.Spec.shards ~default:1)
+    p.theta
+    (match p.arrival with Open_loop r -> Printf.sprintf "open(%.0f/s)" r
+    | Closed_loop -> "closed")
+    p.warmup_s p.measure_s p.out;
+  let js = report p ~mode in
+  write_report ~out:p.out js;
+  if p.json_stdout then print_endline (Json.to_string js);
+  summarize js;
+  (match validate js with
+  | Ok () -> ()
+  | Error e -> Printf.eprintf "!! %s fails %s validation: %s\n%!" p.out schema e);
+  Printf.printf "wrote %s\n%!" p.out
+
+let smoke () =
+  let p =
+    {
+      default_params with
+      threads = 2;
+      key_bits = 8;
+      warmup_s = 0.2;
+      measure_s = 0.6;
+      arrival = Open_loop 3000.;
+    }
+  in
+  let js = report p ~mode:"smoke" in
+  write_report ~out:p.out js;
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        prerr_endline ("service-smoke: " ^ m);
+        exit 1)
+      fmt
+  in
+  let ic = open_in p.out in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  (match Json.of_string text with
+  | Error e -> fail "emitted JSON does not parse: %s" e
+  | Ok parsed -> (
+      if not (Json.equal parsed js) then
+        fail "JSON round-trip changed the value";
+      match validate parsed with
+      | Error e -> fail "schema validation failed: %s" e
+      | Ok () -> ()));
+  summarize js;
+  Printf.printf "service-smoke OK: %s validates against %s\n" p.out schema

@@ -24,7 +24,11 @@ let usage () =
     \  scaling        thread-sweep scalability baseline; writes\n\
     \                 BENCH_scaling.json (schema hohtx-bench/1)\n\
     \  scaling-smoke  tiny 2-thread sweep + schema validation of the\n\
-    \                 emitted file (used by @bench-smoke)\n\n\
+    \                 emitted file (used by @bench-smoke)\n\
+    \  service        sustained-load run against the sharded service;\n\
+    \                 writes BENCH_service.json (schema hohtx-load/1)\n\
+    \  service-smoke  miniature service load run + schema validation of\n\
+    \                 the emitted file (used by @service-load-smoke)\n\n\
      options:\n\
     \  --json         emit the report as JSON on stdout too (telemetry,\n\
     \                 scaling)\n\
@@ -34,8 +38,13 @@ let usage () =
     \  --aborts       also print abort-rate tables per panel\n\
     \  --threads LIST comma-separated thread counts (default 1,2,4,8)\n\
     \  --csv DIR      also write CSV series under DIR\n\
-    \  --out FILE     output path for the scaling report\n\
-    \                 (default BENCH_scaling.json)\n"
+    \  --out FILE     output path for the scaling/service report\n\
+    \                 (default BENCH_scaling.json / BENCH_service.json)\n\
+    \  --shards N     service: shard count (default 4)\n\
+    \  --theta F      service: Zipfian skew exponent (default 0.99)\n\
+    \  --rate R       service: open-loop arrival rate in req/s\n\
+    \                 (default: closed loop)\n\
+    \  --duration S   service: steady-state window seconds (default 3)\n"
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -44,8 +53,12 @@ let () =
   let aborts = ref false in
   let json = ref false in
   let csv_dir = ref None in
-  let out = ref Bench_scaling.default_out in
+  let out = ref None in
   let threads = ref [ 1; 2; 4; 8 ] in
+  let shards = ref 4 in
+  let theta = ref 0.99 in
+  let rate = ref None in
+  let duration = ref 3.0 in
   let command = ref [] in
   let rec parse = function
     | [] -> ()
@@ -68,8 +81,40 @@ let () =
         csv_dir := Some dir;
         parse rest
     | "--out" :: path :: rest ->
-        out := path;
+        out := Some path;
         parse rest
+    | "--shards" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            shards := n;
+            parse rest
+        | _ ->
+            prerr_endline "bad --shards";
+            exit 2)
+    | "--theta" :: f :: rest -> (
+        match float_of_string_opt f with
+        | Some f when f >= 0. ->
+            theta := f;
+            parse rest
+        | _ ->
+            prerr_endline "bad --theta";
+            exit 2)
+    | "--rate" :: r :: rest -> (
+        match float_of_string_opt r with
+        | Some r when r > 0. ->
+            rate := Some r;
+            parse rest
+        | _ ->
+            prerr_endline "bad --rate";
+            exit 2)
+    | "--duration" :: s :: rest -> (
+        match float_of_string_opt s with
+        | Some s when s > 0. ->
+            duration := s;
+            parse rest
+        | _ ->
+            prerr_endline "bad --duration";
+            exit 2)
     | "--threads" :: spec :: rest -> (
         match parse_threads spec with
         | Some ts ->
@@ -135,9 +180,30 @@ let () =
               verify = !verify;
               threads_list = !threads;
               json_stdout = !json;
-              out = !out;
+              out = Option.value !out ~default:Bench_scaling.default_out;
             }
       | [ "scaling-smoke" ] -> Bench_scaling.smoke ()
+      | [ "service" ] ->
+          let d = Bench_service.default_params in
+          Bench_service.run
+            {
+              d with
+              Bench_service.spec =
+                { d.Bench_service.spec with
+                  Harness.Factories.Spec.shards = Some !shards };
+              threads = List.fold_left max 1 !threads;
+              theta = !theta;
+              arrival =
+                (match !rate with
+                | Some r -> Bench_service.Open_loop r
+                | None -> Bench_service.Closed_loop);
+              warmup_s = (if !quick then 0.5 else 1.0);
+              measure_s = !duration;
+              json_stdout = !json;
+              out = Option.value !out ~default:Bench_service.default_out;
+            }
+            ~mode:(if !quick then "quick" else "full")
+      | [ "service-smoke" ] -> Bench_service.smoke ()
       | _ ->
           usage ();
           exit 2)

@@ -2,7 +2,13 @@
    structure family, a reservation/reclamation mode, and a workload, run
    it, and print throughput, abort statistics, reclamation metrics, and the
    correctness verdict (including the commit-stamp serialization check when
-   --verify is set). *)
+   --verify is set).
+
+   Flags that do not apply to the selected family are rejected with a
+   usage message: the lock-free baselines have no transaction window, no
+   scatter, no pool placement strategy, and (nm-tree) no mode — silently
+   ignoring such a flag would report numbers for a configuration the user
+   did not ask for. *)
 
 open Cmdliner
 open Harness
@@ -12,31 +18,38 @@ let family_conv =
     [ ("slist", `Slist); ("dlist", `Dlist); ("bst-int", `Bst_int);
       ("bst-ext", `Bst_ext); ("lf-list", `Lf_list); ("nm-tree", `Nm_tree) ]
 
+let family_name = function
+  | `Slist -> "slist"
+  | `Dlist -> "dlist"
+  | `Bst_int -> "bst-int"
+  | `Bst_ext -> "bst-ext"
+  | `Lf_list -> "lf-list"
+  | `Nm_tree -> "nm-tree"
+
 let mode_conv =
   let parse s =
-    match String.uppercase_ascii s with
-    | "HTM" -> Ok Structs.Mode.Htm
-    | "TMHP" -> Ok Structs.Mode.Tmhp
-    | "REF" -> Ok Structs.Mode.Ref
-    | up -> (
-        match Rr.by_name up with
-        | Some m -> Ok (Structs.Mode.Rr_kind m)
-        | None ->
-            Error
-              (`Msg
-                (Printf.sprintf
-                   "unknown mode %S (want RR-FA/RR-DM/RR-SA/RR-XO/RR-SO/RR-V/HTM/TMHP/REF)"
-                   s)))
+    match Factories.Spec.kind_of_name (String.uppercase_ascii s) with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown mode %S (want RR-FA/RR-DM/RR-SA/RR-XO/RR-SO/RR-V/HTM/TMHP/REF/EBR)"
+               s))
   in
   Arg.conv (parse, fun ppf m -> Fmt.string ppf (Structs.Mode.kind_name m))
 
 let run family mode window scatter key_bits lookup_pct threads ops verify
     strategy telemetry =
-  if telemetry then Telemetry.set_enabled true;
-  let strategy =
-    match strategy with
-    | `Arena -> Mempool.Thread_arena
-    | `Size_class -> Mempool.Size_class
+  let ( let* ) = Result.bind in
+  let inapplicable flag v =
+    match v with
+    | None -> Ok ()
+    | Some _ ->
+        Error
+          (`Msg
+            (Printf.sprintf "%s does not apply to the %s family" flag
+               (family_name family)))
   in
   let spec_structure =
     match family with
@@ -46,19 +59,48 @@ let run family mode window scatter key_bits lookup_pct threads ops verify
     | `Bst_ext -> Some Factories.Spec.Bst_ext
     | `Lf_list | `Nm_tree -> None
   in
-  let factory =
+  let* factory =
     match spec_structure with
     | Some structure ->
-        Factories.make
-          (Factories.Spec.v ~window ~scatter ~strategy structure mode)
-    | None -> (
-        match family with
+        let mode =
+          Option.value mode ~default:(Structs.Mode.Rr_kind (module Rr.V))
+        in
+        let window = Option.value window ~default:8 in
+        let scatter = Option.value scatter ~default:true in
+        let strategy =
+          match Option.value strategy ~default:`Arena with
+          | `Arena -> Mempool.Thread_arena
+          | `Size_class -> Mempool.Size_class
+        in
+        Ok
+          (Factories.make
+             (Factories.Spec.v ~window ~scatter ~strategy structure mode))
+    | None ->
+        (* Lock-free baselines take none of the transactional knobs, and
+           nm-tree has no reclamation mode at all. lf-list accepts only
+           TMHP (the hazard-pointer variant); omitting --mode selects the
+           leaky baseline. *)
+        let* () = inapplicable "--window" window in
+        let* () = inapplicable "--scatter" scatter in
+        let* () = inapplicable "--allocator" strategy in
+        (match family with
         | `Lf_list -> (
             match mode with
-            | Structs.Mode.Tmhp -> Factories.lf_list `Hp
-            | _ -> Factories.lf_list `Leak)
-        | _ -> Factories.nm_tree ())
+            | None -> Ok (Factories.lf_list `Leak)
+            | Some Structs.Mode.Tmhp -> Ok (Factories.lf_list `Hp)
+            | Some m ->
+                Error
+                  (`Msg
+                    (Printf.sprintf
+                       "mode %s does not apply to lf-list (use --mode TMHP \
+                        for hazard pointers, or omit --mode for the leaky \
+                        baseline)"
+                       (Structs.Mode.kind_name m))))
+        | _ ->
+            let* () = inapplicable "--mode" mode in
+            Ok (Factories.nm_tree ()))
   in
+  if telemetry then Telemetry.set_enabled true;
   Tm.Thread.with_registered (fun _ ->
       let spec =
         Workload.spec ~key_bits ~lookup_pct ~threads ~ops_per_thread:ops ()
@@ -76,7 +118,7 @@ let run family mode window scatter key_bits lookup_pct threads ops verify
       (match r.Driver.telemetry with
       | Some rep -> Format.printf "%a" Telemetry.Report.pp rep
       | None -> ());
-      match r.Driver.verdict with Ok () -> 0 | Error _ -> 1)
+      match r.Driver.verdict with Ok () -> Ok 0 | Error _ -> Ok 1)
 
 let cmd =
   let family =
@@ -89,16 +131,29 @@ let cmd =
   let mode =
     Arg.(
       value
-      & opt mode_conv (Structs.Mode.Rr_kind (module Rr.V))
+      & opt (some mode_conv) None
       & info [ "m"; "mode" ]
           ~doc:"Reservation/reclamation mode: RR-FA, RR-DM, RR-SA, RR-XO, \
-                RR-SO, RR-V, HTM, TMHP, or REF.")
+                RR-SO, RR-V, HTM, TMHP, REF, or EBR (default RR-V). For \
+                lf-list, TMHP selects the hazard-pointer variant and \
+                omitting the flag the leaky baseline; inapplicable to \
+                nm-tree.")
   in
   let window =
-    Arg.(value & opt int 8 & info [ "w"; "window" ] ~doc:"Nodes per transaction.")
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "w"; "window" ]
+          ~doc:"Nodes per transaction (default 8; transactional families \
+                only).")
   in
   let scatter =
-    Arg.(value & opt bool true & info [ "scatter" ] ~doc:"Scatter first window.")
+    Arg.(
+      value
+      & opt (some bool) None
+      & info [ "scatter" ]
+          ~doc:"Scatter first window (default true; transactional families \
+                only).")
   in
   let key_bits =
     Arg.(value & opt int 8 & info [ "b"; "key-bits" ] ~doc:"Key range 2^BITS.")
@@ -121,8 +176,10 @@ let cmd =
   let strategy =
     Arg.(
       value
-      & opt (enum [ ("arena", `Arena); ("size-class", `Size_class) ]) `Arena
-      & info [ "allocator" ] ~doc:"Pool placement strategy.")
+      & opt (some (enum [ ("arena", `Arena); ("size-class", `Size_class) ])) None
+      & info [ "allocator" ]
+          ~doc:"Pool placement strategy (default arena; transactional \
+                families only).")
   in
   let telemetry =
     Arg.(
@@ -133,8 +190,9 @@ let cmd =
   in
   let term =
     Term.(
-      const run $ family $ mode $ window $ scatter $ key_bits $ lookup_pct
-      $ threads $ ops $ verify $ strategy $ telemetry)
+      term_result ~usage:true
+        (const run $ family $ mode $ window $ scatter $ key_bits $ lookup_pct
+        $ threads $ ops $ verify $ strategy $ telemetry))
   in
   Cmd.v
     (Cmd.info "hohtx-bench" ~version:"1.0"

@@ -70,7 +70,13 @@ let has_site args =
     args
 
 let node_modules = [ "Lnode"; "Snode"; "Tnode" ]
-let benign_atomic_fields = [ "gen"; "pstate" ]
+
+(* Known non-tvar atomics: node generation / publication state in the
+   structures, the service layer's shard-gate words and reader counts,
+   and its router statistics counters. *)
+let benign_atomic_fields =
+  [ "gen"; "pstate"; "word"; "readers"; "singles"; "batches"; "multis";
+    "multi_aborts"; "recovered" ]
 
 open Parsetree
 

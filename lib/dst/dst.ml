@@ -26,6 +26,9 @@ type site =
   | Ep_retire
   | Ep_advance
   | Hoh_handoff
+  | Svc_gate
+  | Svc_prepare
+  | Svc_apply
   | User of int
 
 let site_name = function
@@ -56,6 +59,9 @@ let site_name = function
   | Ep_retire -> "epoch.retire"
   | Ep_advance -> "epoch.advance"
   | Hoh_handoff -> "hoh.handoff"
+  | Svc_gate -> "service.gate"
+  | Svc_prepare -> "service.prepare"
+  | Svc_apply -> "service.apply"
   | User n -> "user." ^ string_of_int n
 
 exception Killed
@@ -75,14 +81,15 @@ let[@inline] scheduled () =
   !enabled && my_domain () = !sched_domain && !current >= 0
 
 module Inject = struct
-  type bug = Snapshot_straddle | Ro_publication | Stale_hint
+  type bug = Snapshot_straddle | Ro_publication | Stale_hint | Tear_2pc
 
   let bug_idx = function
     | Snapshot_straddle -> 0
     | Ro_publication -> 1
     | Stale_hint -> 2
+    | Tear_2pc -> 3
 
-  let bugs = Array.make 3 false
+  let bugs = Array.make 4 false
   let set_bug b v = bugs.(bug_idx b) <- v
   let[@inline] bug b = !enabled && Array.unsafe_get bugs (bug_idx b)
   let clear_bugs () = Array.fill bugs 0 (Array.length bugs) false

@@ -44,6 +44,9 @@ type site =
   | Ep_retire
   | Ep_advance
   | Hoh_handoff  (** between the windowed transactions of one HoH op *)
+  | Svc_gate  (** service shard gate acquire/release *)
+  | Svc_prepare  (** between 2PC prepare sub-steps of a cross-shard multi *)
+  | Svc_apply  (** between 2PC apply sub-steps of a cross-shard multi *)
   | User of int  (** scenario-private sites (allocates; tests only) *)
 
 val site_name : site -> string
@@ -89,8 +92,11 @@ module Inject : sig
       - [Ro_publication]: bug #2 — skip forced commit-time validation for
         read-only transactions that publish hazard/epoch state.
       - [Stale_hint]: bug #3 — accept a recycled skiplist hint whose key or
-        tower no longer matches. *)
-  type bug = Snapshot_straddle | Ro_publication | Stale_hint
+        tower no longer matches.
+      - [Tear_2pc]: bug #4 — the service layer skips compensating rollback
+        when a cross-shard multi-key op fails mid-apply, leaving a torn
+        partial write behind (see DESIGN.md decision 10). *)
+  type bug = Snapshot_straddle | Ro_publication | Stale_hint | Tear_2pc
 
   val set_bug : bug -> bool -> unit
 

@@ -55,7 +55,7 @@ let dummy_log =
     stamp = 0;
   }
 
-let worker ~spec ~handle ~verify ~barrier d () =
+let worker ~spec ~store ~verify ~barrier d () =
   Tm.Thread.with_registered (fun tid ->
       let rng = Workload.Rng.create ~seed:spec.Workload.seed ~thread:(d + 1) in
       let n = spec.Workload.ops_per_thread in
@@ -65,24 +65,24 @@ let worker ~spec ~handle ~verify ~barrier d () =
       barrier_arrive barrier;
       for i = 0 to n - 1 do
         let op, key = Workload.next_op rng spec in
-        let result, earliest, stamp =
+        let reply =
           match op with
           | Workload.Insert ->
-              let r, s = handle.Set_ops.insert ~thread:tid key in
-              if r then incr ins;
-              (r, s, s)
+              let r = Store.insert store ~thread:tid key in
+              if r.Store.outcome = Store.Inserted then incr ins;
+              r
           | Workload.Remove ->
-              let r, e, s = handle.Set_ops.remove ~thread:tid key in
-              if r then incr rem;
-              (r, e, s)
-          | Workload.Lookup ->
-              let r, s = handle.Set_ops.lookup ~thread:tid key in
-              (r, s, s)
+              let r = Store.remove store ~thread:tid key in
+              if r.Store.outcome = Store.Removed then incr rem;
+              r
+          | Workload.Lookup -> Store.get store ~thread:tid key
         in
+        let result = Store.positive reply.Store.outcome in
+        let earliest = reply.Store.earliest and stamp = reply.Store.stamp in
         if verify then
           log.(i) <- { Serial_check.op; key; result; earliest; stamp }
       done;
-      handle.Set_ops.finalize_thread ~thread:tid;
+      Store.finalize_thread store ~thread:tid;
       {
         log;
         w_ins = !ins;
@@ -90,7 +90,7 @@ let worker ~spec ~handle ~verify ~barrier d () =
         w_stats = Tm.Stats.copy (Tm.Thread.stats ());
       })
 
-let run ?(verify = true) ?(san = false) spec handle =
+let run ?(verify = true) ?(san = false) spec store =
   (* Count mode for multi-domain runs: a raise inside one worker would tear
      down the run mid-measurement; per-rule counts are reported instead. *)
   if san then begin
@@ -101,8 +101,8 @@ let run ?(verify = true) ?(san = false) spec handle =
   let initial = Workload.prefill_keys spec in
   List.iter
     (fun k ->
-      if not (fst (handle.Set_ops.insert ~thread:tid k)) then
-        failwith "Driver.run: prefill insert failed")
+      if (Store.insert store ~thread:tid k).Store.outcome <> Store.Inserted
+      then failwith "Driver.run: prefill insert failed")
     initial;
   (* Start the measurement window after prefill so the report reflects the
      contended phase only. Gauges are cumulative and keep their registry. *)
@@ -110,7 +110,7 @@ let run ?(verify = true) ?(san = false) spec handle =
   let barrier = barrier_make spec.Workload.threads in
   let domains =
     List.init spec.Workload.threads (fun d ->
-        Domain.spawn (worker ~spec ~handle ~verify ~barrier d))
+        Domain.spawn (worker ~spec ~store ~verify ~barrier d))
   in
   barrier_await_ready barrier;
   (* Monotonic, not wall, time: an NTP step mid-run would corrupt the
@@ -121,7 +121,7 @@ let run ?(verify = true) ?(san = false) spec handle =
   barrier_release barrier;
   let outs = List.map Domain.join domains in
   let elapsed = float_of_int (Telemetry.now_ns () - t0) /. 1e9 in
-  handle.Set_ops.drain ();
+  Store.drain store;
   let san_counts =
     if san then begin
       let v = San.violations () in
@@ -135,7 +135,7 @@ let run ?(verify = true) ?(san = false) spec handle =
   List.iter (fun o -> Tm.Stats.add tm o.w_stats) outs;
   let ins = List.fold_left (fun a o -> a + o.w_ins) 0 outs in
   let rem = List.fold_left (fun a o -> a + o.w_rem) 0 outs in
-  let size_after = handle.Set_ops.size () in
+  let size_after = Store.size store in
   let expected = List.length initial + ins - rem in
   let verdict =
     if size_after <> expected then
@@ -143,15 +143,15 @@ let run ?(verify = true) ?(san = false) spec handle =
         (Printf.sprintf "size accounting: found %d, expected %d" size_after
            expected)
     else
-      match handle.Set_ops.check () with
+      match Store.check store with
       | Error _ as e -> e
       | Ok () ->
-          if verify && handle.Set_ops.stamped then
+          if verify && Store.stamped store then
             Serial_check.check ~initial (List.map (fun o -> o.log) outs)
           else Ok ()
   in
   {
-    impl = handle.Set_ops.name;
+    impl = Store.name store;
     spec;
     elapsed_s = elapsed;
     total_ops;
@@ -159,13 +159,13 @@ let run ?(verify = true) ?(san = false) spec handle =
     tm;
     size_after;
     verdict;
-    pool_live = handle.Set_ops.pool_live ();
-    max_backlog = handle.Set_ops.max_backlog ();
-    leaked = handle.Set_ops.leaked ();
+    pool_live = Store.pool_live store;
+    max_backlog = Store.max_backlog store;
+    leaked = Store.leaked store;
     telemetry =
       (if Telemetry.enabled () then
          Some
-           (Telemetry.Report.snapshot ~label:handle.Set_ops.name ~counters:tm
+           (Telemetry.Report.snapshot ~label:(Store.name store) ~counters:tm
               ())
        else None);
     san = san_counts;

@@ -27,7 +27,7 @@ type result = {
           [Some] iff the run was started with [~san:true] *)
 }
 
-val run : ?verify:bool -> ?san:bool -> Workload.spec -> Set_ops.handle -> result
+val run : ?verify:bool -> ?san:bool -> Workload.spec -> Store.t -> result
 (** [verify] (default [true]) logs every operation and runs the
     serialization checker; disable it for pure throughput timing. [san]
     (default [false]) runs with the TxSan sanitizer enabled in [Count]

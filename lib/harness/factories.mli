@@ -2,16 +2,17 @@
 
     The unified entry point is {!Spec.v} plus {!make}: a specification
     record names the structure, the concurrency-control/reclamation mode,
-    and every tuning knob in one value, so benchmarks can build, print, and
-    sweep configurations uniformly instead of threading six parallel
-    optional-argument lists. *)
+    and every tuning knob in one value, so benchmarks and the sharded
+    service can build, print, sweep, and ({!Spec.to_json}) persist
+    configurations uniformly instead of threading optional-argument
+    lists. *)
 
-type factory = { label : string; make : unit -> Set_ops.handle }
+type factory = { label : string; make : unit -> Store.t }
 
 val rr_kinds : (string * Structs.Mode.kind) list
 (** The six reservation implementations, as [Mode.Rr_kind]s. *)
 
-(** A complete description of one benchmark configuration. *)
+(** A complete description of one benchmark / service configuration. *)
 module Spec : sig
   type structure = Slist | Dlist | Bst_int | Bst_ext | Hashset | Skiplist
 
@@ -28,6 +29,11 @@ module Spec : sig
     max_attempts : int option;  (** TM attempts before serial fallback *)
     buckets : int option;  (** [Hashset] only *)
     split_unlink : bool option;  (** [Dlist] only *)
+    shards : int option;
+        (** service layer: number of keyspace shards (default 1) *)
+    fuse : bool option;
+        (** service layer: fuse same-shard batches into one irrevocable
+            transaction (see {!Store_intf.S.batch}) *)
   }
 
   val v :
@@ -39,24 +45,44 @@ module Spec : sig
     ?max_attempts:int ->
     ?buckets:int ->
     ?split_unlink:bool ->
+    ?shards:int ->
+    ?fuse:bool ->
     structure ->
     Structs.Mode.kind ->
     t
   (** [v structure kind] builds a spec with every knob at the structure's
       default.
       @raise Invalid_argument if [buckets] or [split_unlink] is given for a
-      structure it does not apply to. *)
+      structure it does not apply to, or [shards < 1]. *)
 
   val structure_name : structure -> string
+  val structure_of_name : string -> structure option
+
+  val kind_of_name : string -> Structs.Mode.kind option
+  (** Inverse of {!Structs.Mode.kind_name}: the four fixed modes plus any
+      reservation implementation registered in {!Rr.all}. *)
 
   val label : t -> string
   (** The curve label used in reports: the mode's name, suffixed with
-      ["-hash"] / ["-skip"] for the structures the paper plots separately. *)
+      ["-hash"] / ["-skip"] for the structures the paper plots separately,
+      and ["/xN"] when sharded ([shards > 1]). *)
+
+  val to_json : t -> Telemetry.Json.t
+  (** Data form of a spec. The emitted object leads with a derived
+      ["label"] field so documents are self-describing; only knobs that
+      are [Some _] are emitted. *)
+
+  val of_json : Telemetry.Json.t -> (t, string) result
+  (** Inverse of {!to_json}. Applies the {!v} validation rules, and — if a
+      ["label"] field is present — rejects documents whose label does not
+      match the parsed spec's {!label}. *)
 end
 
 val make : Spec.t -> factory
-(** Instantiate a specification. The handle is built afresh on each
-    [factory.make] call, so one spec can drive repeated runs. *)
+(** Instantiate a specification as a single store. The store is built
+    afresh on each [factory.make] call, so one spec can drive repeated
+    runs. [shards]/[fuse] are ignored here — they configure the service
+    layer, which calls [make] once per shard. *)
 
 val lf_list : [ `Leak | `Hp ] -> factory
 val nm_tree : unit -> factory

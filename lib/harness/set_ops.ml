@@ -14,169 +14,37 @@ type handle = {
   leaked : unit -> int option;
 }
 
-let hazard_backlog metrics =
-  Option.map (fun m -> m.Reclaim.Hazard.max_backlog) metrics
-
-let of_hoh_list l =
-  let open Structs.Hoh_list in
+let of_store st =
   {
-    name = name l;
-    stamped = true;
-    insert = (fun ~thread k -> insert_s l ~thread k);
+    name = Store.name st;
+    stamped = Store.stamped st;
+    insert =
+      (fun ~thread k ->
+        let r = Store.insert st ~thread k in
+        (Store.positive r.Store.outcome, r.Store.stamp));
     remove =
       (fun ~thread k ->
-        let r, s = remove_s l ~thread k in
-        (r, s, s));
-    lookup = (fun ~thread k -> lookup_s l ~thread k);
-    finalize_thread = (fun ~thread -> finalize_thread l ~thread);
-    drain = (fun () -> drain l);
-    size = (fun () -> size l);
-    contents = (fun () -> to_list l);
-    check = (fun () -> check l);
-    pool_live = (fun () -> Some (pool_stats l).Mempool.Stats.live);
-    max_backlog = (fun () -> hazard_backlog (hazard_metrics l));
-    leaked = (fun () -> None);
-  }
-
-let of_hoh_dlist l =
-  let open Structs.Hoh_dlist in
-  {
-    name = name l;
-    stamped = true;
-    insert = (fun ~thread k -> insert_s l ~thread k);
-    remove = (fun ~thread k -> remove_s l ~thread k);
-    lookup = (fun ~thread k -> lookup_s l ~thread k);
-    finalize_thread = (fun ~thread -> finalize_thread l ~thread);
-    drain = (fun () -> drain l);
-    size = (fun () -> size l);
-    contents = (fun () -> to_list l);
-    check = (fun () -> check l);
-    pool_live = (fun () -> Some (pool_stats l).Mempool.Stats.live);
-    max_backlog = (fun () -> hazard_backlog (hazard_metrics l));
-    leaked = (fun () -> None);
-  }
-
-let of_bst_int t =
-  let open Structs.Hoh_bst_int in
-  {
-    name = name t;
-    stamped = true;
-    insert = (fun ~thread k -> insert_s t ~thread k);
-    remove =
+        let r = Store.remove st ~thread k in
+        (Store.positive r.Store.outcome, r.Store.earliest, r.Store.stamp));
+    lookup =
       (fun ~thread k ->
-        let r, s = remove_s t ~thread k in
-        (r, s, s));
-    lookup = (fun ~thread k -> lookup_s t ~thread k);
-    finalize_thread = (fun ~thread -> finalize_thread t ~thread);
-    drain = (fun () -> drain t);
-    size = (fun () -> size t);
-    contents = (fun () -> to_list t);
-    check = (fun () -> check t);
-    pool_live = (fun () -> Some (pool_stats t).Mempool.Stats.live);
-    max_backlog = (fun () -> None);
-    leaked = (fun () -> None);
+        let r = Store.get st ~thread k in
+        (Store.positive r.Store.outcome, r.Store.stamp));
+    finalize_thread = (fun ~thread -> Store.finalize_thread st ~thread);
+    drain = (fun () -> Store.drain st);
+    size = (fun () -> Store.size st);
+    contents = (fun () -> Store.contents st);
+    check = (fun () -> Store.check st);
+    pool_live = (fun () -> Store.pool_live st);
+    max_backlog = (fun () -> Store.max_backlog st);
+    leaked = (fun () -> Store.leaked st);
   }
 
-let of_bst_ext t =
-  let open Structs.Hoh_bst_ext in
-  {
-    name = name t;
-    stamped = true;
-    insert = (fun ~thread k -> insert_s t ~thread k);
-    remove =
-      (fun ~thread k ->
-        let r, s = remove_s t ~thread k in
-        (r, s, s));
-    lookup = (fun ~thread k -> lookup_s t ~thread k);
-    finalize_thread = (fun ~thread -> finalize_thread t ~thread);
-    drain = (fun () -> drain t);
-    size = (fun () -> size t);
-    contents = (fun () -> to_list t);
-    check = (fun () -> check t);
-    pool_live = (fun () -> Some (pool_stats t).Mempool.Stats.live);
-    max_backlog = (fun () -> hazard_backlog (hazard_metrics t));
-    leaked = (fun () -> None);
-  }
-
-let of_hashset t =
-  let open Structs.Hoh_hashset in
-  {
-    name = name t;
-    stamped = true;
-    insert = (fun ~thread k -> insert_s t ~thread k);
-    remove =
-      (fun ~thread k ->
-        let r, s = remove_s t ~thread k in
-        (r, s, s));
-    lookup = (fun ~thread k -> lookup_s t ~thread k);
-    finalize_thread = (fun ~thread -> finalize_thread t ~thread);
-    drain = (fun () -> drain t);
-    size = (fun () -> size t);
-    contents = (fun () -> to_list t);
-    check = (fun () -> check t);
-    pool_live = (fun () -> Some (pool_stats t).Mempool.Stats.live);
-    max_backlog = (fun () -> hazard_backlog (hazard_metrics t));
-    leaked = (fun () -> None);
-  }
-
-let of_skiplist t =
-  let open Structs.Hoh_skiplist in
-  {
-    name = name t;
-    stamped = true;
-    insert = (fun ~thread k -> insert_s t ~thread k);
-    remove =
-      (fun ~thread k ->
-        let r, s = remove_s t ~thread k in
-        (r, s, s));
-    lookup = (fun ~thread k -> lookup_s t ~thread k);
-    finalize_thread = (fun ~thread -> finalize_thread t ~thread);
-    drain = (fun () -> drain t);
-    size = (fun () -> size t);
-    contents = (fun () -> to_list t);
-    check = (fun () -> check t);
-    pool_live = (fun () -> Some (pool_stats t).Mempool.Stats.live);
-    max_backlog = (fun () -> hazard_backlog (hazard_metrics t));
-    leaked = (fun () -> None);
-  }
-
-let of_harris_list l =
-  let open Lockfree.Harris_list in
-  let leaked () =
-    match hazard_metrics l with
-    | Some _ -> None
-    | None -> Some ((pool_stats l).Mempool.Stats.live - size l)
-  in
-  {
-    name = name l;
-    stamped = false;
-    insert = (fun ~thread k -> (insert l ~thread k, 0));
-    remove = (fun ~thread k -> (remove l ~thread k, 0, 0));
-    lookup = (fun ~thread k -> (lookup l ~thread k, 0));
-    finalize_thread = (fun ~thread -> finalize_thread l ~thread);
-    drain = (fun () -> drain l);
-    size = (fun () -> size l);
-    contents = (fun () -> to_list l);
-    check = (fun () -> check l);
-    pool_live = (fun () -> Some (pool_stats l).Mempool.Stats.live);
-    max_backlog = (fun () -> hazard_backlog (hazard_metrics l));
-    leaked;
-  }
-
-let of_nm_tree t =
-  let open Lockfree.Nm_tree in
-  {
-    name = name t;
-    stamped = false;
-    insert = (fun ~thread k -> (insert t ~thread k, 0));
-    remove = (fun ~thread k -> (remove t ~thread k, 0, 0));
-    lookup = (fun ~thread k -> (lookup t ~thread k, 0));
-    finalize_thread = (fun ~thread -> finalize_thread t ~thread);
-    drain = (fun () -> drain t);
-    size = (fun () -> size t);
-    contents = (fun () -> to_list t);
-    check = (fun () -> check t);
-    pool_live = (fun () -> None);
-    max_backlog = (fun () -> None);
-    leaked = (fun () -> Some (allocated t - reachable t));
-  }
+let of_hoh_list l = of_store (Store.of_hoh_list l)
+let of_hoh_dlist l = of_store (Store.of_hoh_dlist l)
+let of_bst_int t = of_store (Store.of_bst_int t)
+let of_bst_ext t = of_store (Store.of_bst_ext t)
+let of_hashset t = of_store (Store.of_hashset t)
+let of_skiplist t = of_store (Store.of_skiplist t)
+let of_harris_list l = of_store (Store.of_harris_list l)
+let of_nm_tree t = of_store (Store.of_nm_tree t)

@@ -1,10 +1,11 @@
-(** A uniform runtime handle over every set implementation in the
-    repository, so the driver and benchmarks can treat the paper's curves
-    (HTM, RR-*, TMHP, REF, LFLeak, LFHP, LFLeak-NM) interchangeably.
+(** Deprecated record-of-closures view of a {!Store.t}.
 
-    Stamped operations return the operation's linearization stamp; for the
-    non-transactional (lock-free) structures there is no stamp and
-    [stamped] is [false] — the serialization checker skips them. *)
+    This was the original uniform handle over the set implementations;
+    it survives for one release as a thin adapter so out-of-tree callers
+    can migrate at their own pace. New code should use {!Store} /
+    {!Store_intf.S} directly: typed {!Store_intf.outcome} replies instead
+    of decoded bools, an explicit batch entry point, and a telemetry
+    [stats] hook. *)
 
 type handle = {
   name : string;
@@ -21,18 +22,38 @@ type handle = {
   contents : unit -> int list;
   check : unit -> (unit, string) result;
   pool_live : unit -> int option;
-      (** live allocator objects after drain — the precise-reclamation
-          footprint *)
   max_backlog : unit -> int option;
-      (** worst-case deferred-reclamation backlog (hazard pointers) *)
-  leaked : unit -> int option;  (** nodes never reclaimed (leaky baselines) *)
+  leaked : unit -> int option;
 }
+[@@ocaml.deprecated "use Store.t and the Store_intf.S module type instead"]
+
+[@@@ocaml.alert "-deprecated"]
+[@@@ocaml.warning "-3"]
+
+val of_store : Store.t -> handle
+(** Wrap a store in the legacy record. The only supported way to obtain
+    a [handle]; everything else here delegates to it. *)
 
 val of_hoh_list : Structs.Hoh_list.t -> handle
+  [@@ocaml.deprecated "use Store.of_hoh_list"]
+
 val of_hoh_dlist : Structs.Hoh_dlist.t -> handle
+  [@@ocaml.deprecated "use Store.of_hoh_dlist"]
+
 val of_bst_int : Structs.Hoh_bst_int.t -> handle
+  [@@ocaml.deprecated "use Store.of_bst_int"]
+
 val of_bst_ext : Structs.Hoh_bst_ext.t -> handle
+  [@@ocaml.deprecated "use Store.of_bst_ext"]
+
 val of_hashset : Structs.Hoh_hashset.t -> handle
+  [@@ocaml.deprecated "use Store.of_hashset"]
+
 val of_skiplist : Structs.Hoh_skiplist.t -> handle
+  [@@ocaml.deprecated "use Store.of_skiplist"]
+
 val of_harris_list : Lockfree.Harris_list.t -> handle
+  [@@ocaml.deprecated "use Store.of_harris_list"]
+
 val of_nm_tree : Lockfree.Nm_tree.t -> handle
+  [@@ocaml.deprecated "use Store.of_nm_tree"]

@@ -42,6 +42,53 @@ module Rng = struct
     next t mod bound
 end
 
+module Zipf = struct
+  type t = {
+    cdf : float array;  (* cdf.(r) = P(rank <= r), strictly increasing *)
+    perm : int array;  (* rank -> key-1: scrambles rank order over the space *)
+  }
+
+  (* Zipf(theta) over [n] keys: P(rank r) proportional to 1/(r+1)^theta.
+     The CDF table costs O(n) floats once per workload; sampling is a
+     binary search. Ranks are scrambled by a seeded Fisher-Yates
+     permutation so the hottest keys scatter over the keyspace (and over
+     the service's shards) instead of clustering at the low end. *)
+  let create ?(seed = 0x21bf) ~theta n =
+    if n < 1 then invalid_arg "Zipf.create: n";
+    if theta < 0. then invalid_arg "Zipf.create: theta";
+    let w = Array.init n (fun r -> 1. /. (float_of_int (r + 1) ** theta)) in
+    let total = Array.fold_left ( +. ) 0. w in
+    let cdf = Array.make n 0. in
+    let acc = ref 0. in
+    Array.iteri
+      (fun r wr ->
+        acc := !acc +. (wr /. total);
+        cdf.(r) <- !acc)
+      w;
+    cdf.(n - 1) <- 1.;
+    let perm = Array.init n (fun i -> i) in
+    let rng = Rng.create ~seed ~thread:0 in
+    for i = n - 1 downto 1 do
+      let j = Rng.int rng (i + 1) in
+      let t = perm.(i) in
+      perm.(i) <- perm.(j);
+      perm.(j) <- t
+    done;
+    { cdf; perm }
+
+  let draw t rng =
+    let u =
+      float_of_int (Rng.int rng (1 lsl 30)) /. float_of_int (1 lsl 30)
+    in
+    (* first rank whose cdf covers u *)
+    let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+    done;
+    1 + t.perm.(!lo)
+end
+
 let next_op rng s =
   let key = 1 + Rng.int rng (key_range s) in
   let roll = Rng.int rng 100 in

@@ -39,6 +39,22 @@ module Rng : sig
   val int : t -> int -> int  (** uniform in [0, bound) *)
 end
 
+(** Zipfian key-skew generator for the sustained-load service harness:
+    rank probabilities proportional to [1/(rank+1)^theta], ranks
+    scrambled over the keyspace by a seeded permutation so hot keys
+    scatter across shards. [theta = 0] degenerates to uniform;
+    [theta ~ 0.99] is the YCSB-style default. *)
+module Zipf : sig
+  type t
+
+  val create : ?seed:int -> theta:float -> int -> t
+  (** [create ~theta n] prepares a distribution over keys [1..n].
+      O(n) table; sampling is a binary search. *)
+
+  val draw : t -> Rng.t -> int
+  (** A key in [1..n], skewed by [theta]. *)
+end
+
 val next_op : Rng.t -> spec -> op * int
 (** Draw an operation and key according to the mix. *)
 

@@ -1,0 +1,95 @@
+(** The sharded KV service layer.
+
+    A keyspace partitioned across N shards, each a complete independent
+    stack (its own {!Mempool}, its own HOH structure, its own telemetry)
+    built from one {!Harness.Factories.Spec}, fronted by a router:
+
+    - keys hash to shards deterministically ({!shard_of_key});
+    - single-key operations and same-shard batches run under a per-shard
+      {e shared} gate, so they proceed concurrently — the underlying
+      store's transactions provide their isolation;
+    - cross-shard multi-key operations ({!multi}) take every involved
+      shard's gate {e exclusively} (ascending shard order, so gate
+      acquisition cannot deadlock) and run two-phase commit over
+      per-shard transactions: prepare probes every precondition, apply
+      performs the writes, and a failure mid-apply rolls the applied
+      prefix back with compensating operations while the gates are still
+      held — other threads observe all of the multi or none of it.
+
+    Because all shards share the TM's global commit clock, the stamps of
+    a multi's sub-transactions order consistently against all other
+    stamped operations, and the whole service history remains checkable
+    by {!Harness.Serial_check} (DESIGN.md, decision 10). *)
+
+type t
+
+val create : ?shards:int -> ?fuse:bool -> Harness.Factories.Spec.t -> t
+(** Build a service from a spec; one store per shard via
+    {!Harness.Factories.make}. [shards] (default the spec's [shards]
+    knob, default 1) and [fuse] (default the spec's [fuse] knob, default
+    [true]) override the spec.
+    @raise Invalid_argument if the shard count is below 1. *)
+
+val label : t -> string
+val shards : t -> int
+
+val shard_of_key : t -> int -> int
+(** Deterministic routing: which shard owns a key. *)
+
+(** {1 Request paths} *)
+
+val exec : t -> thread:int -> Harness.Store.op -> Harness.Store.reply
+(** Route and run one operation under the owning shard's shared gate.
+    Scans span shards: they decompose into per-shard probe batches and
+    merge, interval-linearized like {!Harness.Store_intf.S.scan}. *)
+
+val exec_batch : t -> thread:int -> Harness.Store.op array -> Harness.Store.reply array
+(** Group a batch by shard and run each shard's sub-batch as one
+    {!Harness.Store.batch} — a single fused transaction per shard when
+    the service fuses. Replies return in request order. The batch is
+    atomic per shard, not across shards; use {!multi} for that. *)
+
+type multi_result =
+  | Committed of Harness.Store.reply array
+  | Aborted of int
+      (** index of the first operation whose precondition failed
+          (insert of a present key / remove of an absent key); no effect
+          was applied *)
+
+val multi : t -> thread:int -> Harness.Store.op array -> multi_result
+(** Cross-shard atomic multi-key operation (two-phase commit). [Get]s are
+    answered from the prepare phase; [Insert]/[Remove] preconditions are
+    all checked before any write applies.
+    @raise Invalid_argument on scans, or two writes to the same key. *)
+
+val recover : t -> int
+(** Resolve intents abandoned by dead threads: complete the undo of every
+    applied sub-operation, disambiguate in-flight ones by probing the
+    (still-gated) shard, release the dead threads' gates. Must run from a
+    registered thread with the service otherwise quiescent. Returns the
+    number of intents resolved. DST kill-paths rely on this: a thread
+    abandoned mid-2PC leaves its gates and intent in place rather than
+    running transactions during unwinding. *)
+
+(** {1 Whole-service views} *)
+
+val counters : t -> (string * int) list
+(** Router counters: singles, batches, multis, multi_aborts, recovered. *)
+
+val finalize_thread : t -> thread:int -> unit
+val drain : t -> unit
+val size : t -> int
+val contents : t -> int list
+
+val check : t -> (unit, string) result
+(** Every shard's structural check, plus service invariants: no
+    unresolved intent, no held gate, no misrouted key. *)
+
+val pool_live : t -> int option
+val max_backlog : t -> int option
+val leaked : t -> int option
+
+val as_store : t -> Harness.Store.t
+(** The service packed as a store: anything that drives a {!Harness.Store.t}
+    (the benchmark driver and its serialization checker included) can
+    drive a sharded service unchanged. *)

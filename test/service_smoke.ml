@@ -1,0 +1,110 @@
+(* @service-smoke: a fast push-gate for the sharded service layer.
+
+   Three deterministic checks, no alcotest harness:
+   1. a DST run that kills a thread between the 2PC phases and proves
+      [Service.recover] restores all-or-nothing contents, frees the dead
+      thread's gates, and keeps the pool accounting precise;
+   2. the [Tear_2pc] bug flag reproduces the torn write that the
+      compensating rollback prevents;
+   3. a short real-concurrency run of the service packed as a Store
+      through the benchmark driver with the serialization check on. *)
+
+open Harness
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline ("FAIL: " ^ s); exit 1) fmt
+
+let spec =
+  Factories.Spec.v ~window:4 ~scatter:false ~shards:4 ~fuse:true
+    Factories.Spec.Slist
+    (Structs.Mode.Rr_kind (module Rr.V))
+
+let key_in_shard svc ~shard ~avoid =
+  let rec go k =
+    if k > 100_000 then die "no key routes to shard %d" shard
+    else if Service.shard_of_key svc k = shard && not (List.mem k avoid) then k
+    else go (k + 1)
+  in
+  go 1
+
+let kill_and_recover () =
+  Dst.Inject.clear ();
+  Tm.Thread.reset_ids_for_testing ();
+  let svc = Service.create ~shards:2 spec in
+  let kept = key_in_shard svc ~shard:0 ~avoid:[] in
+  let fresh = key_in_shard svc ~shard:1 ~avoid:[ kept ] in
+  let init () =
+    Tm.Thread.with_registered (fun thread ->
+        ignore (Service.exec svc ~thread (Store.Insert kept)))
+  in
+  let victim () =
+    Tm.Thread.with_registered (fun thread ->
+        Dst.Inject.arm ~after:1 Dst.Svc_apply (Dst.Inject.Delay 1_000_000);
+        ignore
+          (Service.multi svc ~thread
+             [| Store.Remove kept; Store.Insert fresh |]))
+  in
+  let o = Dst.Sched.run ~budget:5_000 ~init (Dst.Sched.Random 1) [ victim ] in
+  if not o.Dst.Sched.hung then die "kill scenario did not hang as designed";
+  if Dst.Sched.failed o then die "kill scenario failed before the kill";
+  if not (Result.is_error (Service.check svc)) then
+    die "abandoned intent not visible to check";
+  let resolved =
+    Tm.Thread.with_registered (fun _ -> Service.recover svc)
+  in
+  if resolved <> 1 then die "recover resolved %d intents, want 1" resolved;
+  if Service.contents svc <> [ kept ] then die "recover left a torn state";
+  (match Service.check svc with
+  | Ok () -> ()
+  | Error e -> die "post-recover check: %s" e);
+  Service.drain svc;
+  (match Service.pool_live svc with
+  | Some 1 -> ()
+  | Some n -> die "pool live = %d after recover, want 1" n
+  | None -> die "no pool accounting");
+  Dst.Inject.clear ();
+  print_endline "service-smoke: kill between 2PC phases -> recover OK"
+
+let tear_bug_caught () =
+  Dst.Inject.clear ();
+  Tm.Thread.reset_ids_for_testing ();
+  Dst.Inject.set_bug Dst.Inject.Tear_2pc true;
+  let svc = Service.create ~shards:2 spec in
+  let kept = key_in_shard svc ~shard:0 ~avoid:[] in
+  let fresh = key_in_shard svc ~shard:1 ~avoid:[ kept ] in
+  let init () =
+    Tm.Thread.with_registered (fun thread ->
+        ignore (Service.exec svc ~thread (Store.Insert kept)))
+  in
+  let body () =
+    Tm.Thread.with_registered (fun thread ->
+        Dst.Inject.arm Dst.Mp_alloc Dst.Inject.Fail;
+        match
+          Service.multi svc ~thread [| Store.Remove kept; Store.Insert fresh |]
+        with
+        | _ -> die "armed allocation unexpectedly succeeded"
+        | exception Dst.Injected Dst.Mp_alloc -> ())
+  in
+  let o = Dst.Sched.run ~init (Dst.Sched.Random 1) [ body ] in
+  Dst.Inject.clear ();
+  if Dst.Sched.failed o then die "tear scenario crashed";
+  if Service.contents svc = [ kept ] then
+    die "Tear_2pc flag had no effect: expected a torn write";
+  print_endline "service-smoke: Tear_2pc bug flag reproduces the torn write"
+
+let driver_run () =
+  let svc = Service.create spec in
+  let w =
+    Workload.spec ~key_bits:6 ~lookup_pct:40 ~threads:2 ~ops_per_thread:2000 ()
+  in
+  let r = Driver.run ~verify:true w (Service.as_store svc) in
+  (match r.Driver.verdict with
+  | Ok () -> ()
+  | Error e -> die "driver verdict on %s: %s" (Service.label svc) e);
+  Printf.printf "service-smoke: driver run on %s serial-ok\n%!"
+    (Service.label svc)
+
+let () =
+  kill_and_recover ();
+  tear_bug_caught ();
+  driver_run ();
+  print_endline "service-smoke OK"

@@ -243,21 +243,39 @@ let test_driver_serial_pressure () =
         (Tm.Stats.fallbacks r.Driver.tm > 0))
 
 let test_driver_catches_bugs () =
-  (* a deliberately broken set: lookup always false *)
+  (* a deliberately broken store: get always reports Absent. Wrapping an
+     existing packed store in a new module is the Store_intf way to
+     interpose on single operations. *)
   Tm.Thread.with_registered (fun _ ->
       let inner =
         (Factories.make (Factories.Spec.v Factories.Spec.Slist Structs.Mode.Htm))
           .Factories.make ()
       in
-      let broken =
-        {
-          inner with
-          Set_ops.name = "broken";
-          lookup = (fun ~thread key ->
-            let _, s = inner.Set_ops.lookup ~thread key in
-            (false, s));
-        }
-      in
+      let module Broken = struct
+        type t = Store.t
+
+        let name _ = "broken"
+        let stamped = Store.stamped
+
+        let get st ~thread key =
+          let r = Store.get st ~thread key in
+          { r with Store.outcome = Store.Absent }
+
+        let insert = Store.insert
+        let remove = Store.remove
+        let scan st ~thread ~low ~count = Store.scan st ~thread ~low ~count
+        let batch st ~thread ~fuse ops = Store.batch ~fuse st ~thread ops
+        let stats = Store.stats
+        let finalize_thread = Store.finalize_thread
+        let drain = Store.drain
+        let size = Store.size
+        let contents = Store.contents
+        let check = Store.check
+        let pool_live = Store.pool_live
+        let max_backlog = Store.max_backlog
+        let leaked = Store.leaked
+      end in
+      let broken = Store.pack (module Broken) inner in
       let spec =
         Workload.spec ~key_bits:4 ~lookup_pct:50 ~threads:2
           ~ops_per_thread:300 ()

@@ -1,0 +1,533 @@
+(* The sharded service layer: deterministic routing, same-shard batch
+   fusing, cross-shard two-phase commit (commit, abort, rollback and
+   recovery paths), the Spec JSON round trip that configures it, and the
+   service packed as a Store driving the existing benchmark driver.
+
+   The 2PC failure paths run under the DST scheduler: an injected
+   allocation fault mid-apply must trigger compensating rollback, the
+   [Tear_2pc] bug flag must reproduce the torn write that rollback
+   prevents, and a thread killed between the phases must leave a state
+   that [Service.recover] resolves back to all-or-nothing with the
+   mempool accounting intact. *)
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+open Harness
+
+let spec ?(shards = 4) () =
+  Factories.Spec.v ~window:4 ~scatter:false ~shards ~fuse:true
+    Factories.Spec.Slist
+    (Structs.Mode.Rr_kind (module Rr.V))
+
+let with_thread f = Tm.Thread.with_registered (fun thread -> f ~thread)
+
+(* A key in [1..bound] (fresh w.r.t. [avoid]) that routes to [shard]. *)
+let key_in_shard svc ~shard ~avoid =
+  let rec go k =
+    if k > 100_000 then failwith "no key found for shard"
+    else if Service.shard_of_key svc k = shard && not (List.mem k avoid) then k
+    else go (k + 1)
+  in
+  go 1
+
+(* ---------------------------------------------------------------- *)
+(* Routing                                                           *)
+(* ---------------------------------------------------------------- *)
+
+let test_routing_deterministic () =
+  let a = Service.create (spec ()) and b = Service.create (spec ()) in
+  check "shard count from the spec knob" 4 (Service.shards a);
+  let population = Array.make 4 0 in
+  for k = 1 to 4096 do
+    let s = Service.shard_of_key a k in
+    checkb "in range" true (s >= 0 && s < 4);
+    check "deterministic across instances" s (Service.shard_of_key b k);
+    population.(s) <- population.(s) + 1
+  done;
+  (* the mixer must spread the keyspace, not stripe or clump it *)
+  Array.iteri
+    (fun s n ->
+      if n < 512 || n > 1536 then
+        Alcotest.failf "shard %d holds %d of 4096 keys" s n)
+    population
+
+let test_create_validates () =
+  checkb "shards = 0 rejected" true
+    (match Service.create ~shards:0 (spec ()) with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check "explicit override beats the spec knob" 2
+    (Service.shards (Service.create ~shards:2 (spec ())))
+
+(* ---------------------------------------------------------------- *)
+(* Spec JSON round trip                                              *)
+(* ---------------------------------------------------------------- *)
+
+let test_spec_json_roundtrip () =
+  let s = spec () in
+  let j = Factories.Spec.to_json s in
+  match Factories.Spec.of_json j with
+  | Error e -> Alcotest.failf "of_json rejected its own to_json: %s" e
+  | Ok s' ->
+      checkb "round trip is lossless" true
+        (Telemetry.Json.equal j (Factories.Spec.to_json s'));
+      Alcotest.(check string)
+        "label survives" (Factories.Spec.label s) (Factories.Spec.label s')
+
+let test_spec_json_label_checked () =
+  let tampered =
+    match Factories.Spec.to_json (spec ()) with
+    | Telemetry.Json.Obj kvs ->
+        Telemetry.Json.Obj
+          (List.map
+             (fun (k, v) ->
+               if k = "label" then (k, Telemetry.Json.String "RR-FA/x9")
+               else (k, v))
+             kvs)
+    | _ -> Alcotest.fail "to_json is not an object"
+  in
+  checkb "mismatched label rejected" true
+    (Result.is_error (Factories.Spec.of_json tampered))
+
+let test_spec_label_sharding_suffix () =
+  let base = Factories.Spec.label (spec ~shards:1 ()) in
+  Alcotest.(check string)
+    "x4 suffix"
+    (base ^ "/x4")
+    (Factories.Spec.label (spec ~shards:4 ()));
+  checkb "no suffix for one shard" true
+    (not (String.contains base '/'))
+
+(* ---------------------------------------------------------------- *)
+(* Single-key traffic, scans, batches                                *)
+(* ---------------------------------------------------------------- *)
+
+let test_basics () =
+  let svc = Service.create (spec ()) in
+  with_thread @@ fun ~thread ->
+  let keys = List.init 64 (fun i -> (i * 7) + 1) in
+  List.iter
+    (fun k ->
+      checkb "fresh insert" true
+        ((Service.exec svc ~thread (Store.Insert k)).Store.outcome
+        = Store.Inserted))
+    keys;
+  checkb "duplicate insert" true
+    ((Service.exec svc ~thread (Store.Insert 8)).Store.outcome
+    = Store.Duplicate);
+  checkb "present get" true
+    ((Service.exec svc ~thread (Store.Get 8)).Store.outcome = Store.Found);
+  checkb "absent get" true
+    ((Service.exec svc ~thread (Store.Get 2)).Store.outcome = Store.Absent);
+  checkb "remove present" true
+    ((Service.exec svc ~thread (Store.Remove 8)).Store.outcome = Store.Removed);
+  checkb "remove absent" true
+    ((Service.exec svc ~thread (Store.Remove 8)).Store.outcome = Store.Missing);
+  check "size sums the shards" 63 (Service.size svc);
+  checkb "contents merge sorted" true
+    (Service.contents svc = List.sort compare (List.filter (( <> ) 8) keys));
+  (match Service.check svc with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "service check: %s" e);
+  Service.finalize_thread svc ~thread;
+  Service.drain svc
+
+let test_scan_spans_shards () =
+  let svc = Service.create (spec ()) in
+  with_thread @@ fun ~thread ->
+  let keys = [ 3; 4; 7; 11; 12; 19; 23 ] in
+  List.iter (fun k -> ignore (Service.exec svc ~thread (Store.Insert k))) keys;
+  let r = Service.exec svc ~thread (Store.Scan { low = 4; count = 16 }) in
+  (match r.Store.outcome with
+  | Store.Keys ks ->
+      checkb "hits merged in key order" true (ks = [ 4; 7; 11; 12; 19 ])
+  | _ -> Alcotest.fail "scan did not return Keys");
+  checkb "interval is well-formed" true (r.Store.earliest <= r.Store.stamp)
+
+let test_batch_fuses_per_shard () =
+  let svc = Service.create (spec ()) in
+  with_thread @@ fun ~thread ->
+  (* three fresh keys on one shard: fused into a single transaction, so
+     every reply carries the same commit stamp *)
+  let k1 = key_in_shard svc ~shard:2 ~avoid:[] in
+  let k2 = key_in_shard svc ~shard:2 ~avoid:[ k1 ] in
+  let k3 = key_in_shard svc ~shard:2 ~avoid:[ k1; k2 ] in
+  let rs =
+    Service.exec_batch svc ~thread
+      [| Store.Insert k1; Store.Insert k2; Store.Get k1; Store.Remove k3 |]
+  in
+  checkb "replies in request order" true
+    (Array.map (fun r -> r.Store.outcome) rs
+    = [| Store.Inserted; Store.Inserted; Store.Found; Store.Missing |]);
+  let s0 = rs.(0).Store.stamp in
+  Array.iter
+    (fun r ->
+      check "one stamp for the fused sub-batch" s0 r.Store.stamp;
+      check "fused replies are points" s0 r.Store.earliest)
+    rs;
+  (* a cross-shard batch scatters per-shard replies back in order *)
+  let other = key_in_shard svc ~shard:0 ~avoid:[ k1; k2; k3 ] in
+  let rs =
+    Service.exec_batch svc ~thread
+      [| Store.Get k1; Store.Insert other; Store.Get k2 |]
+  in
+  checkb "cross-shard batch order" true
+    (Array.map (fun r -> r.Store.outcome) rs
+    = [| Store.Found; Store.Inserted; Store.Found |])
+
+(* ---------------------------------------------------------------- *)
+(* Cross-shard multis (two-phase commit)                             *)
+(* ---------------------------------------------------------------- *)
+
+let test_multi_commits_across_shards () =
+  let svc = Service.create (spec ()) in
+  with_thread @@ fun ~thread ->
+  let a = key_in_shard svc ~shard:0 ~avoid:[] in
+  let b = key_in_shard svc ~shard:3 ~avoid:[ a ] in
+  ignore (Service.exec svc ~thread (Store.Insert b));
+  (match
+     Service.multi svc ~thread [| Store.Insert a; Store.Remove b; Store.Get a |]
+   with
+  | Service.Committed rs ->
+      checkb "insert applied" true (rs.(0).Store.outcome = Store.Inserted);
+      checkb "remove applied" true (rs.(1).Store.outcome = Store.Removed);
+      (* the Get was answered by the prepare probe, before the insert *)
+      checkb "get answered from prepare" true
+        (rs.(2).Store.outcome = Store.Absent)
+  | Service.Aborted i -> Alcotest.failf "unexpected abort at %d" i);
+  checkb "multi effects visible" true (Service.contents svc = [ a ]);
+  check "counter" 1 (List.assoc "multis" (Service.counters svc))
+
+let test_multi_aborts_without_effect () =
+  let svc = Service.create (spec ()) in
+  with_thread @@ fun ~thread ->
+  let a = key_in_shard svc ~shard:0 ~avoid:[] in
+  let b = key_in_shard svc ~shard:1 ~avoid:[ a ] in
+  ignore (Service.exec svc ~thread (Store.Insert b));
+  (* precondition of op 1 fails (b present); op 0 must not apply *)
+  (match Service.multi svc ~thread [| Store.Insert a; Store.Insert b |] with
+  | Service.Aborted i -> check "failing index reported" 1 i
+  | Service.Committed _ -> Alcotest.fail "expected abort");
+  checkb "no effect applied" true (Service.contents svc = [ b ]);
+  check "abort counter" 1 (List.assoc "multi_aborts" (Service.counters svc));
+  match Service.check svc with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "gates or intent left behind: %s" e
+
+let test_multi_rejects_bad_shapes () =
+  let svc = Service.create (spec ()) in
+  with_thread @@ fun ~thread ->
+  checkb "scan rejected" true
+    (match Service.multi svc ~thread [| Store.Scan { low = 1; count = 4 } |] with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  checkb "duplicate write key rejected" true
+    (match Service.multi svc ~thread [| Store.Insert 5; Store.Remove 5 |] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ---------------------------------------------------------------- *)
+(* The service as a store: the benchmark driver runs it unchanged    *)
+(* ---------------------------------------------------------------- *)
+
+let test_driver_drives_service () =
+  let svc = Service.create (spec ()) in
+  let w =
+    Workload.spec ~key_bits:6 ~lookup_pct:40 ~threads:2 ~ops_per_thread:1500 ()
+  in
+  let r = Driver.run ~verify:true w (Service.as_store svc) in
+  (match r.Driver.verdict with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "driver verdict: %s" e);
+  checkb "sharded label" true
+    (String.length (Service.label svc) > 3
+    && String.sub (Service.label svc) (String.length (Service.label svc) - 3) 3
+       = "/x4")
+
+(* ---------------------------------------------------------------- *)
+(* DST: 2PC failure paths                                            *)
+(* ---------------------------------------------------------------- *)
+
+(* Build a fresh 2-shard service with a known prefill; [b] routes to a
+   different shard than [a], and the multi [Remove kept; Insert a] fails
+   mid-apply when the insert's allocation is injected to fail. *)
+let svc_and_keys () =
+  Dst.Inject.clear ();
+  Tm.Thread.reset_ids_for_testing ();
+  let svc = Service.create ~shards:2 (spec ()) in
+  let kept = key_in_shard svc ~shard:0 ~avoid:[] in
+  let fresh = key_in_shard svc ~shard:1 ~avoid:[ kept ] in
+  (svc, kept, fresh)
+
+(* Injected allocation failure in phase 2: the remove applied first must
+   be compensated while the gates are held, so the service lands back on
+   exactly the initial contents. *)
+let rollback_case ~bug () =
+  let svc, kept, fresh = svc_and_keys () in
+  let init () =
+    with_thread (fun ~thread ->
+        ignore (Service.exec svc ~thread (Store.Insert kept)))
+  in
+  let saw_fault = ref false in
+  let body () =
+    with_thread (fun ~thread ->
+        Dst.Inject.arm Dst.Mp_alloc Dst.Inject.Fail;
+        match
+          Service.multi svc ~thread [| Store.Remove kept; Store.Insert fresh |]
+        with
+        | _ -> failwith "armed allocation unexpectedly succeeded"
+        | exception Dst.Injected Dst.Mp_alloc -> saw_fault := true)
+  in
+  {
+    Dst.Explore.init = Some init;
+    threads = [ body ];
+    check =
+      (fun () ->
+        if not !saw_fault then failwith "fault did not fire";
+        (match Service.check svc with
+        | Ok () -> ()
+        | Error e -> failwith e);
+        if Service.contents svc <> [ kept ] then
+          failwith
+            (if bug then "torn write: the applied remove was not rolled back"
+             else "rollback failed to restore the initial contents"));
+  }
+
+let test_apply_fault_rolls_back () =
+  let c = rollback_case ~bug:false () in
+  let o =
+    Dst.Sched.run ?init:c.Dst.Explore.init ~check:c.Dst.Explore.check
+      (Dst.Sched.Random 1) c.Dst.Explore.threads
+  in
+  checkb "rollback restored the prefix" false (Dst.Sched.failed o);
+  Dst.Inject.clear ()
+
+let test_tear_2pc_bug_is_caught () =
+  (* bug #4 armed: the same schedule leaves a torn partial write that the
+     all-or-nothing check catches; production code replays clean above.
+     The flag goes on after the case builder, which clears all arms. *)
+  let c = rollback_case ~bug:true () in
+  Dst.Inject.set_bug Dst.Inject.Tear_2pc true;
+  let o =
+    Dst.Sched.run ?init:c.Dst.Explore.init ~check:c.Dst.Explore.check
+      (Dst.Sched.Random 1) c.Dst.Explore.threads
+  in
+  Dst.Inject.clear ();
+  checkb "torn write detected under the bug flag" true (Dst.Sched.failed o);
+  checkb "failure is the check, not a crash" true
+    (match o.Dst.Sched.failure with
+    | Some (Dst.Sched.Check_failed _) -> true
+    | _ -> false)
+
+(* A thread killed between the 2PC phases — after the first sub-op
+   applied, before the second — leaves its intent and exclusive gates in
+   place (no transactions run during unwinding). [Service.recover] must
+   undo the applied prefix, free the dead thread's gates, and restore
+   precise pool accounting. *)
+let kill_between_phases ~delay_site ~applied_before_kill () =
+  let svc, kept, fresh = svc_and_keys () in
+  let prefill = [ kept ] in
+  let init () =
+    with_thread (fun ~thread ->
+        ignore (Service.exec svc ~thread (Store.Insert kept)))
+  in
+  let victim () =
+    with_thread (fun ~thread ->
+        (* pass the first visit, then stall until the budget kills us *)
+        Dst.Inject.arm ~after:1 delay_site (Dst.Inject.Delay 1_000_000);
+        ignore
+          (Service.multi svc ~thread
+             [| Store.Remove kept; Store.Insert fresh |]))
+  in
+  let o = Dst.Sched.run ~budget:5_000 ~init (Dst.Sched.Random 1) [ victim ] in
+  checkb "run hung at the stalled site" true o.Dst.Sched.hung;
+  checkb "hang is not a failure" false (Dst.Sched.failed o);
+  (* the victim died mid-2PC: its intent and gates are still in place *)
+  checkb "check reports the abandoned intent" true
+    (Result.is_error (Service.check svc));
+  check "applied prefix before recovery"
+    (List.length prefill - applied_before_kill)
+    (Service.size svc);
+  let resolved = with_thread (fun ~thread:_ -> Service.recover svc) in
+  check "one intent resolved" 1 resolved;
+  checkb "contents restored to all-or-nothing" true
+    (Service.contents svc = prefill);
+  (match Service.check svc with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "after recover: %s" e);
+  check "recovered counter" 1 (List.assoc "recovered" (Service.counters svc));
+  Service.drain svc;
+  (* precise reclamation: every node the rolled-back multi touched went
+     back to its pool; live nodes = structure contents, per shard summed *)
+  (match Service.pool_live svc with
+  | Some live -> check "pool live = contents" (List.length prefill) live
+  | None -> Alcotest.fail "expected pool accounting");
+  Dst.Inject.clear ()
+
+let test_kill_mid_apply_recovers =
+  (* killed at the second apply point: the remove landed, the insert did
+     not — recover must re-insert the removed key *)
+  kill_between_phases ~delay_site:Dst.Svc_apply ~applied_before_kill:1
+
+let test_kill_mid_prepare_recovers =
+  (* killed between prepare probes: nothing applied; recover only frees
+     the gates and clears the intent *)
+  kill_between_phases ~delay_site:Dst.Svc_prepare ~applied_before_kill:0
+
+(* ---------------------------------------------------------------- *)
+(* DST: serializability of mixed single/multi traffic                *)
+(* ---------------------------------------------------------------- *)
+
+(* One thread runs scripted singles, another scripted multis, on
+   overlapping keys; every committed operation is logged at its commit
+   stamp and the merged history must replay against the sequential set
+   model. The shared TM clock is what makes the multis' per-shard
+   sub-transactions order consistently here (DESIGN.md, decision 10). *)
+let serial_oracle_case () =
+  Dst.Inject.clear ();
+  Tm.Thread.reset_ids_for_testing ();
+  let svc = Service.create ~shards:2 (spec ()) in
+  let initial = [ 2; 4; 6; 8 ] in
+  let init () =
+    with_thread (fun ~thread ->
+        List.iter
+          (fun k -> ignore (Service.exec svc ~thread (Store.Insert k)))
+          initial)
+  in
+  let logs = Array.make 2 [] in
+  let entry op key (r : Store.reply) =
+    {
+      Serial_check.op;
+      key;
+      result = Store.positive r.Store.outcome;
+      earliest = r.Store.earliest;
+      stamp = r.Store.stamp;
+    }
+  in
+  let singles () =
+    with_thread (fun ~thread ->
+        logs.(0) <-
+          List.map
+            (fun (op, key) ->
+              let o =
+                match op with
+                | `I -> Store.Insert key
+                | `R -> Store.Remove key
+                | `L -> Store.Get key
+              in
+              let w =
+                match op with
+                | `I -> Workload.Insert
+                | `R -> Workload.Remove
+                | `L -> Workload.Lookup
+              in
+              entry w key (Service.exec svc ~thread o))
+            [ (`I, 1); (`R, 4); (`L, 2); (`I, 5); (`R, 1); (`L, 6) ])
+  in
+  let multis () =
+    with_thread (fun ~thread ->
+        let log_multi ops =
+          match Service.multi svc ~thread ops with
+          | Service.Aborted _ -> ()
+          | Service.Committed rs ->
+              Array.iteri
+                (fun i r ->
+                  let w, key =
+                    match ops.(i) with
+                    | Store.Insert k -> (Workload.Insert, k)
+                    | Store.Remove k -> (Workload.Remove, k)
+                    | Store.Get k -> (Workload.Lookup, k)
+                    | Store.Scan _ -> assert false
+                  in
+                  logs.(1) <- entry w key r :: logs.(1))
+                rs
+        in
+        log_multi [| Store.Remove 2; Store.Insert 3; Store.Get 4 |];
+        log_multi [| Store.Insert 1; Store.Remove 6 |];
+        log_multi [| Store.Remove 8; Store.Insert 9 |];
+        logs.(1) <- List.rev logs.(1))
+  in
+  {
+    Dst.Explore.init = Some init;
+    threads = [ singles; multis ];
+    check =
+      (fun () ->
+        (match Service.check svc with
+        | Ok () -> ()
+        | Error e -> failwith e);
+        match
+          Serial_check.check ~initial
+            [ Array.of_list logs.(0); Array.of_list logs.(1) ]
+        with
+        | Ok () -> ()
+        | Error e -> failwith e);
+  }
+
+let test_serial_oracle () =
+  for seed = 1 to 15 do
+    let c = serial_oracle_case () in
+    let o =
+      Dst.Sched.run ?init:c.Dst.Explore.init ~check:c.Dst.Explore.check
+        (Dst.Sched.Random seed) c.Dst.Explore.threads
+    in
+    if Dst.Sched.failed o then
+      Alcotest.failf "seed %d: %s" seed
+        (match o.Dst.Sched.failure with
+        | Some f -> Format.asprintf "%a" Dst.Sched.pp_failure f
+        | None -> "?");
+    checkb "completed" false o.Dst.Sched.hung
+  done
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "routing",
+        [
+          Alcotest.test_case "deterministic and balanced" `Quick
+            test_routing_deterministic;
+          Alcotest.test_case "create validates" `Quick test_create_validates;
+        ] );
+      ( "spec json",
+        [
+          Alcotest.test_case "round trip" `Quick test_spec_json_roundtrip;
+          Alcotest.test_case "label checked" `Quick
+            test_spec_json_label_checked;
+          Alcotest.test_case "sharding suffix" `Quick
+            test_spec_label_sharding_suffix;
+        ] );
+      ( "traffic",
+        [
+          Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "scan spans shards" `Quick test_scan_spans_shards;
+          Alcotest.test_case "batch fuses per shard" `Quick
+            test_batch_fuses_per_shard;
+        ] );
+      ( "2pc",
+        [
+          Alcotest.test_case "commits across shards" `Quick
+            test_multi_commits_across_shards;
+          Alcotest.test_case "aborts without effect" `Quick
+            test_multi_aborts_without_effect;
+          Alcotest.test_case "rejects bad shapes" `Quick
+            test_multi_rejects_bad_shapes;
+        ] );
+      ( "as store",
+        [
+          Alcotest.test_case "driver drives the service" `Quick
+            test_driver_drives_service;
+        ] );
+      ( "dst",
+        [
+          Alcotest.test_case "apply fault rolls back" `Quick
+            test_apply_fault_rolls_back;
+          Alcotest.test_case "tear-2pc bug caught" `Quick
+            test_tear_2pc_bug_is_caught;
+          Alcotest.test_case "kill mid-apply, recover" `Quick
+            test_kill_mid_apply_recovers;
+          Alcotest.test_case "kill mid-prepare, recover" `Quick
+            test_kill_mid_prepare_recovers;
+          Alcotest.test_case "serializability oracle" `Quick
+            test_serial_oracle;
+        ] );
+    ]

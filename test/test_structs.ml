@@ -108,9 +108,14 @@ let shrink_ops = QCheck.Shrink.list ~shrink:shrink_op
 
 let arb_ops = QCheck.make ~print:print_ops ~shrink:shrink_ops gen_ops
 
-(* Drive a handle and a Hashtbl model through the same op sequence; true
+(* Boolean views of the typed Store replies, for model comparison. *)
+let ins st ~thread k = Store.positive (Store.insert st ~thread k).Store.outcome
+let rem st ~thread k = Store.positive (Store.remove st ~thread k).Store.outcome
+let mem st ~thread k = Store.positive (Store.get st ~thread k).Store.outcome
+
+(* Drive a store and a Hashtbl model through the same op sequence; true
    iff every op agreed, the final contents match, and invariants hold. *)
-let agrees_with_model (h : Set_ops.handle) tid ops =
+let agrees_with_model (h : Store.t) tid ops =
   let model = Hashtbl.create 64 in
   let ok =
     List.for_all
@@ -119,22 +124,21 @@ let agrees_with_model (h : Set_ops.handle) tid ops =
         | I k ->
             let expected = not (Hashtbl.mem model k) in
             if expected then Hashtbl.replace model k ();
-            fst (h.Set_ops.insert ~thread:tid k) = expected
+            ins h ~thread:tid k = expected
         | R k ->
             let expected = Hashtbl.mem model k in
             if expected then Hashtbl.remove model k;
-            let r, _, _ = h.Set_ops.remove ~thread:tid k in
-            r = expected
-        | L k -> fst (h.Set_ops.lookup ~thread:tid k) = Hashtbl.mem model k)
+            rem h ~thread:tid k = expected
+        | L k -> mem h ~thread:tid k = Hashtbl.mem model k)
       ops
   in
-  h.Set_ops.finalize_thread ~thread:tid;
-  h.Set_ops.drain ();
-  let contents = List.sort compare (h.Set_ops.contents ()) in
+  Store.finalize_thread h ~thread:tid;
+  Store.drain h;
+  let contents = List.sort compare (Store.contents h) in
   let model_contents =
     List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) model [])
   in
-  ok && contents = model_contents && h.Set_ops.check () = Ok ()
+  ok && contents = model_contents && Store.check h = Ok ()
 
 let qcheck_sequential (family, f) =
   QCheck.Test.make
@@ -184,44 +188,42 @@ let with_handle f g =
 
 let test_empty_ops (_, f) () =
   with_handle f (fun tid h ->
-      checkb "lookup on empty" false (fst (h.Set_ops.lookup ~thread:tid 5));
-      let r, _, _ = h.Set_ops.remove ~thread:tid 5 in
-      checkb "remove on empty" false r;
-      check "size 0" 0 (h.Set_ops.size ());
-      checkb "check ok" true (h.Set_ops.check () = Ok ()))
+      checkb "lookup on empty" false (mem h ~thread:tid 5);
+      checkb "remove on empty" false (rem h ~thread:tid 5);
+      check "size 0" 0 (Store.size h);
+      checkb "check ok" true (Store.check h = Ok ()))
 
 let test_duplicate_insert (_, f) () =
   with_handle f (fun tid h ->
-      checkb "first insert" true (fst (h.Set_ops.insert ~thread:tid 7));
-      checkb "duplicate rejected" false (fst (h.Set_ops.insert ~thread:tid 7));
-      check "size 1" 1 (h.Set_ops.size ()))
+      checkb "first insert" true (ins h ~thread:tid 7);
+      checkb "duplicate rejected" false (ins h ~thread:tid 7);
+      check "size 1" 1 (Store.size h))
 
 let test_sorted_contents (_, f) () =
   with_handle f (fun tid h ->
       List.iter
-        (fun k -> ignore (h.Set_ops.insert ~thread:tid k))
+        (fun k -> ignore (ins h ~thread:tid k))
         [ 5; 1; 9; 3; 7; 2; 8 ];
       Alcotest.(check (list int))
         "contents sorted" [ 1; 2; 3; 5; 7; 8; 9 ]
-        (h.Set_ops.contents ()))
+        (Store.contents h))
 
 let test_remove_all (family, f) () =
   with_handle f (fun tid h ->
       let keys = List.init 40 (fun i -> i + 1) in
-      List.iter (fun k -> ignore (h.Set_ops.insert ~thread:tid k)) keys;
+      List.iter (fun k -> ignore (ins h ~thread:tid k)) keys;
       List.iter
         (fun k ->
-          let r, _, _ = h.Set_ops.remove ~thread:tid k in
-          checkb "removed" true r)
+          checkb "removed" true (rem h ~thread:tid k))
         keys;
-      check "empty at end" 0 (h.Set_ops.size ());
-      h.Set_ops.finalize_thread ~thread:tid;
-      h.Set_ops.drain ();
-      (match h.Set_ops.pool_live () with
+      check "empty at end" 0 (Store.size h);
+      Store.finalize_thread h ~thread:tid;
+      Store.drain h;
+      (match Store.pool_live h with
       | Some live ->
           check (family ^ " precise reclamation: no live nodes") 0 live
       | None -> ());
-      checkb "check ok" true (h.Set_ops.check () = Ok ()))
+      checkb "check ok" true (Store.check h = Ok ()))
 
 (* Interleaved single-thread churn exercises node reuse heavily. *)
 let test_churn (_, f) () =
@@ -234,17 +236,16 @@ let test_churn (_, f) () =
         | 0 ->
             let e = not (Hashtbl.mem model k) in
             if e then Hashtbl.replace model k ();
-            checkb "insert agrees" e (fst (h.Set_ops.insert ~thread:tid k))
+            checkb "insert agrees" e (ins h ~thread:tid k)
         | 1 ->
             let e = Hashtbl.mem model k in
             if e then Hashtbl.remove model k;
-            let r, _, _ = h.Set_ops.remove ~thread:tid k in
-            checkb "remove agrees" e r
+            checkb "remove agrees" e (rem h ~thread:tid k)
         | _ ->
             checkb "lookup agrees" (Hashtbl.mem model k)
-              (fst (h.Set_ops.lookup ~thread:tid k))
+              (mem h ~thread:tid k)
       done;
-      checkb "structure intact" true (h.Set_ops.check () = Ok ()))
+      checkb "structure intact" true (Store.check h = Ok ()))
 
 (* ---- concurrent stress with full verification via the driver ---- *)
 
@@ -280,7 +281,7 @@ let test_dlist_split_ablation () =
               ~mode:(Structs.Mode.Rr_kind (module Rr.Fa))
               ~window:3 ~split_unlink ()
           in
-          let h = Set_ops.of_hoh_dlist l in
+          let h = Store.of_hoh_dlist l in
           let spec =
             Workload.spec ~key_bits:5 ~lookup_pct:20 ~threads:4
               ~ops_per_thread:1500 ()
