@@ -39,8 +39,8 @@ let mode_conv =
   in
   Arg.conv (parse, fun ppf m -> Fmt.string ppf (Structs.Mode.kind_name m))
 
-let run family mode window scatter key_bits lookup_pct threads ops verify
-    strategy telemetry =
+let run family mode window scatter fusion middle magazines key_bits lookup_pct
+    threads ops verify strategy telemetry =
   let ( let* ) = Result.bind in
   let inapplicable flag v =
     match v with
@@ -74,7 +74,8 @@ let run family mode window scatter key_bits lookup_pct threads ops verify
         in
         Ok
           (Factories.make
-             (Factories.Spec.v ~window ~scatter ~strategy structure mode))
+             (Factories.Spec.v ~window ~scatter ?fusion ?middle ?magazines
+                ~strategy structure mode))
     | None ->
         (* Lock-free baselines take none of the transactional knobs, and
            nm-tree has no reclamation mode at all. lf-list accepts only
@@ -82,6 +83,9 @@ let run family mode window scatter key_bits lookup_pct threads ops verify
            leaky baseline. *)
         let* () = inapplicable "--window" window in
         let* () = inapplicable "--scatter" scatter in
+        let* () = inapplicable "--fusion" fusion in
+        let* () = inapplicable "--middle" middle in
+        let* () = inapplicable "--magazines" magazines in
         let* () = inapplicable "--allocator" strategy in
         (match family with
         | `Lf_list -> (
@@ -155,6 +159,31 @@ let cmd =
           ~doc:"Scatter first window (default true; transactional families \
                 only).")
   in
+  let fusion =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fusion" ]
+          ~doc:"Fuse up to $(docv) clean windows into one transaction \
+                (default 1 = off; transactional families only)."
+          ~docv:"K")
+  in
+  let middle =
+    Arg.(
+      value
+      & opt (some bool) None
+      & info [ "middle" ]
+          ~doc:"Retry under the per-structure middle lock before the serial \
+                fallback (default false; transactional families only).")
+  in
+  let magazines =
+    Arg.(
+      value
+      & opt (some bool) None
+      & info [ "magazines" ]
+          ~doc:"Per-thread two-magazine pool caches (default false; \
+                transactional families only).")
+  in
   let key_bits =
     Arg.(value & opt int 8 & info [ "b"; "key-bits" ] ~doc:"Key range 2^BITS.")
   in
@@ -191,8 +220,9 @@ let cmd =
   let term =
     Term.(
       term_result ~usage:true
-        (const run $ family $ mode $ window $ scatter $ key_bits $ lookup_pct
-        $ threads $ ops $ verify $ strategy $ telemetry))
+        (const run $ family $ mode $ window $ scatter $ fusion $ middle
+        $ magazines $ key_bits $ lookup_pct $ threads $ ops $ verify
+        $ strategy $ telemetry))
   in
   Cmd.v
     (Cmd.info "hohtx-bench" ~version:"1.0"

@@ -17,10 +17,13 @@ module Window = struct
     w_min : int;
     w_max : int;
     cur : int array;  (* per-thread live budget; owner-written only *)
+    fusion : int;  (* max windows fused into one transaction; 1 = off *)
+    fcur : int array;  (* per-thread live fuse count; owner-written only *)
   }
 
-  let create ?(scatter = true) ?(adaptive = false) w =
+  let create ?(scatter = true) ?(adaptive = false) ?(fusion = 1) w =
     if w < 1 then invalid_arg "Hoh.Window.create: w < 1";
+    if fusion < 1 then invalid_arg "Hoh.Window.create: fusion < 1";
     {
       w;
       scatter;
@@ -29,17 +32,27 @@ module Window = struct
       w_min = 1;
       w_max = 4 * w;
       cur = Array.make Tm.Thread.max_threads w;
+      fusion;
+      fcur = Array.make Tm.Thread.max_threads 1;
     }
 
   let size t = t.w
   let adaptive t = t.adaptive
   let budget t ~thread = if t.adaptive then t.cur.(thread) else t.w
+  let fusion t = t.fusion
+  let fused t = t.fusion > 1
+  let fuse_budget t ~thread = if t.fusion > 1 then t.fcur.(thread) else 1
 
   let record t ~thread ~contended =
     if t.adaptive then begin
       let c = t.cur.(thread) in
       t.cur.(thread) <-
         (if contended then max t.w_min (c / 2) else min t.w_max (2 * c))
+    end;
+    if t.fusion > 1 then begin
+      let k = t.fcur.(thread) in
+      t.fcur.(thread) <-
+        (if contended then max 1 (k / 2) else min t.fusion (2 * k))
     end
 
   let first_budget t ~thread =
@@ -58,7 +71,7 @@ end
 let[@inline] contention_aborts s =
   Tm.Stats.aborts_read s + Tm.Stats.aborts_lock s + Tm.Stats.aborts_serial s
 
-let run ~rr ?site ?max_attempts ?(read_phase = false) ?window step =
+let run ~rr ?site ?max_attempts ?(read_phase = false) ?window ?middle step =
   let reserved = ref None in
   (* The controller's feedback signal: the delta of this thread's
      contention-abort counters across the window transaction, plus whether
@@ -66,27 +79,53 @@ let run ~rr ?site ?max_attempts ?(read_phase = false) ?window step =
      attributes exactly this window's aborts. *)
   let stats =
     match window with
-    | Some (w, _) when Window.adaptive w -> Some (Tm.Thread.stats ())
+    | Some (w, _) when Window.adaptive w || Window.fused w ->
+        Some (Tm.Thread.stats ())
     | _ -> None
   in
   let rec loop () =
     let c0 = match stats with Some s -> contention_aborts s | None -> 0 in
+    let fuse =
+      match window with
+      | Some (w, thread) -> Window.fuse_budget w ~thread
+      | None -> 1
+    in
     let res =
-      Tm.atomic_stamped ?site ?max_attempts ~read_phase (fun txn ->
+      Tm.atomic_stamped ?site ?max_attempts ~read_phase ?middle (fun txn ->
           rr.Rr_intf.register txn;
           let start =
             match !reserved with
             | None -> None
             | Some r -> rr.Rr_intf.get txn r
           in
-          match step txn ~start with
-          | Finish v ->
-              rr.Rr_intf.release_all txn;
-              Finish v
-          | Hand_off r ->
-              rr.Rr_intf.release_all txn;
-              rr.Rr_intf.reserve txn r;
-              Hand_off r)
+          (* Window fusion: run up to [fuse] windows back to back inside
+             this one transaction. An intermediate hand-off point needs no
+             reservation — the node was read by this very transaction, so
+             the read-set validation that guards the commit also proves it
+             was not revoked (opacity); only the final window's hand-off
+             pays the release/reserve round, and the whole fused chain
+             pays one gclock stamp. On abort the transaction re-runs from
+             the last {e committed} reservation, exactly as unfused.
+
+             A window that queued deferred work is a fusion barrier: the
+             defers carry protocol state the step only publishes at
+             commit (the dlist two-phase remove, the skiplist resume
+             hint), so the next window must not run in the same
+             transaction or it would observe the pre-commit state. *)
+          let rec windows start k =
+            let d0 = Tm.defers_pending txn in
+            match step txn ~start with
+            | Finish v ->
+                rr.Rr_intf.release_all txn;
+                Finish v
+            | Hand_off r when k > 1 && Tm.defers_pending txn = d0 ->
+                windows (Some r) (k - 1)
+            | Hand_off r ->
+                rr.Rr_intf.release_all txn;
+                rr.Rr_intf.reserve txn r;
+                Hand_off r
+          in
+          windows start fuse)
     in
     (match (window, stats) with
     | Some (w, thread), Some s ->
@@ -114,8 +153,8 @@ let run ~rr ?site ?max_attempts ?(read_phase = false) ?window step =
   in
   loop ()
 
-let apply ~rr ?site ?max_attempts ?read_phase ?window step =
-  fst (run ~rr ?site ?max_attempts ?read_phase ?window step)
+let apply ~rr ?site ?max_attempts ?read_phase ?window ?middle step =
+  fst (run ~rr ?site ?max_attempts ?read_phase ?window ?middle step)
 
-let apply_stamped ~rr ?site ?max_attempts ?read_phase ?window step =
-  run ~rr ?site ?max_attempts ?read_phase ?window step
+let apply_stamped ~rr ?site ?max_attempts ?read_phase ?window ?middle step =
+  run ~rr ?site ?max_attempts ?read_phase ?window ?middle step

@@ -14,6 +14,9 @@ module Spec = struct
     window : int option;
     scatter : bool option;
     adaptive : bool option;
+    fusion : int option;
+    middle : bool option;
+    magazines : bool option;
     strategy : Mempool.strategy option;
     rr_config : Rr.Config.t option;
     max_attempts : int option;
@@ -23,8 +26,9 @@ module Spec = struct
     fuse : bool option;
   }
 
-  let v ?window ?scatter ?adaptive ?strategy ?rr_config ?max_attempts
-      ?buckets ?split_unlink ?shards ?fuse structure kind =
+  let v ?window ?scatter ?adaptive ?fusion ?middle ?magazines ?strategy
+      ?rr_config ?max_attempts ?buckets ?split_unlink ?shards ?fuse structure
+      kind =
     (match buckets with
     | Some _ when structure <> Hashset ->
         invalid_arg "Factories.Spec.v: buckets only applies to Hashset"
@@ -37,12 +41,19 @@ module Spec = struct
     | Some n when n < 1 ->
         invalid_arg "Factories.Spec.v: shards must be >= 1"
     | _ -> ());
+    (match fusion with
+    | Some k when k < 1 ->
+        invalid_arg "Factories.Spec.v: fusion must be >= 1"
+    | _ -> ());
     {
       structure;
       kind;
       window;
       scatter;
       adaptive;
+      fusion;
+      middle;
+      magazines;
       strategy;
       rr_config;
       max_attempts;
@@ -77,6 +88,13 @@ module Spec = struct
       | Hashset -> k ^ "-hash"
       | Skiplist -> k ^ "-skip"
     in
+    let base =
+      match t.fusion with
+      | Some k when k > 1 -> Printf.sprintf "%s+fuse%d" base k
+      | _ -> base
+    in
+    let base = if t.middle = Some true then base ^ "+mid" else base in
+    let base = if t.magazines = Some true then base ^ "+mag" else base in
     match t.shards with
     | None | Some 1 -> base
     | Some n -> Printf.sprintf "%s/x%d" base n
@@ -115,6 +133,9 @@ module Spec = struct
       :: (opt "window" (fun i -> J.Int i) t.window
       @@ opt "scatter" (fun b -> J.Bool b) t.scatter
       @@ opt "adaptive" (fun b -> J.Bool b) t.adaptive
+      @@ opt "fusion" (fun i -> J.Int i) t.fusion
+      @@ opt "middle" (fun b -> J.Bool b) t.middle
+      @@ opt "magazines" (fun b -> J.Bool b) t.magazines
       @@ opt "strategy" (fun s -> J.String (Mempool.strategy_name s)) t.strategy
       @@ opt "rr_config" rr_config_json t.rr_config
       @@ opt "max_attempts" (fun i -> J.Int i) t.max_attempts
@@ -166,6 +187,9 @@ module Spec = struct
     let* window = optional "window" J.to_int in
     let* scatter = optional "scatter" J.to_bool in
     let* adaptive = optional "adaptive" J.to_bool in
+    let* fusion = optional "fusion" J.to_int in
+    let* middle = optional "middle" J.to_bool in
+    let* magazines = optional "magazines" J.to_bool in
     let* strategy =
       optional "strategy" (fun v ->
           Option.bind (J.to_string_opt v) strategy_of_name)
@@ -178,8 +202,9 @@ module Spec = struct
     let* fuse = optional "fuse" J.to_bool in
     let* t =
       match
-        v ?window ?scatter ?adaptive ?strategy ?rr_config ?max_attempts
-          ?buckets ?split_unlink ?shards ?fuse structure kind
+        v ?window ?scatter ?adaptive ?fusion ?middle ?magazines ?strategy
+          ?rr_config ?max_attempts ?buckets ?split_unlink ?shards ?fuse
+          structure kind
       with
       | t -> Ok t
       | exception Invalid_argument m -> Error m
@@ -196,34 +221,37 @@ module Spec = struct
 end
 
 let make (s : Spec.t) =
-  let { Spec.structure; kind; window; scatter; adaptive; strategy; rr_config;
-        max_attempts; buckets; split_unlink; shards = _; fuse = _ } = s in
+  let { Spec.structure; kind; window; scatter; adaptive; fusion; middle;
+        magazines; strategy; rr_config; max_attempts; buckets; split_unlink;
+        shards = _; fuse = _ } = s in
   let build () =
     match structure with
     | Spec.Slist ->
         Store.of_hoh_list
           (Structs.Hoh_list.create ~mode:kind ?window ?scatter ?adaptive
-             ?strategy ?rr_config ?max_attempts ())
+             ?fusion ?middle ?magazines ?strategy ?rr_config ?max_attempts ())
     | Spec.Dlist ->
         Store.of_hoh_dlist
           (Structs.Hoh_dlist.create ~mode:kind ?window ?scatter ?adaptive
-             ?strategy ?rr_config ?max_attempts ?split_unlink ())
+             ?fusion ?middle ?magazines ?strategy ?rr_config ?max_attempts
+             ?split_unlink ())
     | Spec.Bst_int ->
         Store.of_bst_int
           (Structs.Hoh_bst_int.create ~mode:kind ?window ?scatter ?adaptive
-             ?strategy ?rr_config ?max_attempts ())
+             ?fusion ?middle ?magazines ?strategy ?rr_config ?max_attempts ())
     | Spec.Bst_ext ->
         Store.of_bst_ext
           (Structs.Hoh_bst_ext.create ~mode:kind ?window ?scatter ?adaptive
-             ?strategy ?rr_config ?max_attempts ())
+             ?fusion ?middle ?magazines ?strategy ?rr_config ?max_attempts ())
     | Spec.Hashset ->
         Store.of_hashset
           (Structs.Hoh_hashset.create ~mode:kind ?buckets ?window ?scatter
-             ?adaptive ?strategy ?rr_config ?max_attempts ())
+             ?adaptive ?fusion ?middle ?magazines ?strategy ?rr_config
+             ?max_attempts ())
     | Spec.Skiplist ->
         Store.of_skiplist
           (Structs.Hoh_skiplist.create ~mode:kind ?window ?scatter ?adaptive
-             ?strategy ?rr_config ?max_attempts ())
+             ?fusion ?middle ?magazines ?strategy ?rr_config ?max_attempts ())
   in
   { label = Spec.label s; make = build }
 

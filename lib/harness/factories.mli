@@ -24,6 +24,15 @@ module Spec : sig
     adaptive : bool option;
         (** contention-adaptive per-thread window controller
             ({!Rr.Hoh.Window}); [window] is its starting budget *)
+    fusion : int option;
+        (** window-fusion ceiling: run up to this many consecutive clean
+            windows in one transaction ({!Rr.Hoh.Window}; default 1 = off) *)
+    middle : bool option;
+        (** retry exhausted speculative attempts under a per-structure
+            middle-path lock before the serial rung ({!Tm.Middle}) *)
+    magazines : bool option;
+        (** per-thread magazine caches in front of the pool strategy
+            ({!Mempool.create}) *)
     strategy : Mempool.strategy option;
     rr_config : Rr.Config.t option;
     max_attempts : int option;  (** TM attempts before serial fallback *)
@@ -40,6 +49,9 @@ module Spec : sig
     ?window:int ->
     ?scatter:bool ->
     ?adaptive:bool ->
+    ?fusion:int ->
+    ?middle:bool ->
+    ?magazines:bool ->
     ?strategy:Mempool.strategy ->
     ?rr_config:Rr.Config.t ->
     ?max_attempts:int ->
@@ -53,7 +65,7 @@ module Spec : sig
   (** [v structure kind] builds a spec with every knob at the structure's
       default.
       @raise Invalid_argument if [buckets] or [split_unlink] is given for a
-      structure it does not apply to, or [shards < 1]. *)
+      structure it does not apply to, [shards < 1], or [fusion < 1]. *)
 
   val structure_name : structure -> string
   val structure_of_name : string -> structure option
@@ -65,7 +77,9 @@ module Spec : sig
   val label : t -> string
   (** The curve label used in reports: the mode's name, suffixed with
       ["-hash"] / ["-skip"] for the structures the paper plots separately,
-      and ["/xN"] when sharded ([shards > 1]). *)
+      ["+fuseK"] when [fusion = Some k, k > 1], ["+mid"] / ["+mag"] when
+      the middle path / magazines are on, and ["/xN"] when sharded
+      ([shards > 1]). *)
 
   val to_json : t -> Telemetry.Json.t
   (** Data form of a spec. The emitted object leads with a derived

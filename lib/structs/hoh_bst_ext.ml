@@ -4,16 +4,18 @@ type t = {
   mode : Tnode.t Mode.t;
   root : Tnode.t;  (** sentinel router, key = [max_int]; tree on its left *)
   window : Window.t;
+  middle : Tm.Middle.t option;
   pool : Tnode.t Mempool.t;
   max_attempts : int option;
 }
 
-let create ~mode ?(window = 16) ?(scatter = true) ?adaptive ?strategy
-    ?rr_config ?hp_threshold ?(max_attempts = 8) () =
+let create ~mode ?(window = 16) ?(scatter = true) ?adaptive ?fusion
+    ?(middle = false) ?magazines ?strategy ?rr_config ?hp_threshold
+    ?(max_attempts = 8) () =
   (match mode with
   | Mode.Ref -> invalid_arg "Hoh_bst_ext: Ref mode is not supported"
   | Mode.Rr_kind _ | Mode.Htm | Mode.Tmhp | Mode.Ebr -> ());
-  let pool = Tnode.make_pool ?strategy () in
+  let pool = Tnode.make_pool ?strategy ?magazines () in
   let mode =
     Mode.create mode ~pool
       ~deleted:(fun n -> n.Tnode.deleted)
@@ -24,7 +26,8 @@ let create ~mode ?(window = 16) ?(scatter = true) ?adaptive ?strategy
   {
     mode;
     root = Tnode.sentinel ~key:max_int;
-    window = Window.create ~scatter ?adaptive window;
+    window = Window.create ~scatter ?adaptive ?fusion window;
+    middle = (if middle then Some (Tm.Middle.create ()) else None);
     pool;
     max_attempts = Some max_attempts;
   }
@@ -65,6 +68,7 @@ let apply t ~thread ?(read_phase = false) key ~site ~on_leaf =
   Rr.Hoh.apply_stamped ~rr:t.mode.Mode.ops ~site ?max_attempts:t.max_attempts
     ~read_phase
     ~window:(t.window, thread)
+    ?middle:t.middle
     (fun txn ~start ->
       let start, budget = start_point t ~thread ~start in
       match descend txn ~key ~start ~budget with
@@ -172,7 +176,9 @@ let insert t ~thread key = fst (insert_s t ~thread key)
 let remove t ~thread key = fst (remove_s t ~thread key)
 let lookup t ~thread key = fst (lookup_s t ~thread key)
 
-let finalize_thread t ~thread = t.mode.Mode.finalize ~thread
+let finalize_thread t ~thread =
+  t.mode.Mode.finalize ~thread;
+  Mempool.drain_magazines t.pool ~thread
 let drain t = t.mode.Mode.drain ()
 
 let rec fold_leaves acc node f =

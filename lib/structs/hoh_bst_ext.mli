@@ -17,6 +17,9 @@ val create :
   ?window:int ->
   ?scatter:bool ->
   ?adaptive:bool ->
+  ?fusion:int ->
+  ?middle:bool ->
+  ?magazines:bool ->
   ?strategy:Mempool.strategy ->
   ?rr_config:Rr.Config.t ->
   ?hp_threshold:int ->

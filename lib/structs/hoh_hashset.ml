@@ -4,14 +4,16 @@ type t = {
   mode : Lnode.t Mode.t;
   heads : Lnode.t array;
   window : Window.t;
+  middle : Tm.Middle.t option;
   pool : Lnode.t Mempool.t;
   max_attempts : int option;
 }
 
 let create ~mode ?(buckets = 64) ?(window = 8) ?(scatter = true) ?adaptive
-    ?strategy ?rr_config ?hp_threshold ?max_attempts () =
+    ?fusion ?(middle = false) ?magazines ?strategy ?rr_config ?hp_threshold
+    ?max_attempts () =
   if buckets < 1 then invalid_arg "Hoh_hashset.create: buckets < 1";
-  let pool = Lnode.make_pool ?strategy () in
+  let pool = Lnode.make_pool ?strategy ?magazines () in
   let mode =
     Mode.create mode ~pool
       ~deleted:(fun n -> n.Lnode.deleted)
@@ -22,7 +24,8 @@ let create ~mode ?(buckets = 64) ?(window = 8) ?(scatter = true) ?adaptive
   {
     mode;
     heads = Array.init buckets (fun _ -> Lnode.sentinel ());
-    window = Window.create ~scatter ?adaptive window;
+    window = Window.create ~scatter ?adaptive ?fusion window;
+    middle = (if middle then Some (Tm.Middle.create ()) else None);
     pool;
     max_attempts;
   }
@@ -41,6 +44,7 @@ let apply t ~thread ?(read_phase = false) key ~site ~on_found ~on_notfound =
   Rr.Hoh.apply_stamped ~rr:t.mode.Mode.ops ~site ?max_attempts:t.max_attempts
     ~read_phase
     ~window:(t.window, thread)
+    ?middle:t.middle
     (fun txn ~start ->
       let prev, budget =
         match start with
@@ -96,7 +100,9 @@ let insert t ~thread key = fst (insert_s t ~thread key)
 let remove t ~thread key = fst (remove_s t ~thread key)
 let lookup t ~thread key = fst (lookup_s t ~thread key)
 
-let finalize_thread t ~thread = t.mode.Mode.finalize ~thread
+let finalize_thread t ~thread =
+  t.mode.Mode.finalize ~thread;
+  Mempool.drain_magazines t.pool ~thread
 let drain t = t.mode.Mode.drain ()
 
 let fold_buckets t f acc =

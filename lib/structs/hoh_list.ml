@@ -4,13 +4,15 @@ type t = {
   mode : Lnode.t Mode.t;
   head : Lnode.t;
   window : Window.t;
+  middle : Tm.Middle.t option;
   pool : Lnode.t Mempool.t;
   max_attempts : int option;
 }
 
-let create ~mode ?(window = 8) ?(scatter = true) ?adaptive ?strategy
-    ?rr_config ?hp_threshold ?max_attempts () =
-  let pool = Lnode.make_pool ?strategy () in
+let create ~mode ?(window = 8) ?(scatter = true) ?adaptive ?fusion
+    ?(middle = false) ?magazines ?strategy ?rr_config ?hp_threshold
+    ?max_attempts () =
+  let pool = Lnode.make_pool ?strategy ?magazines () in
   let mode =
     Mode.create mode ~pool
       ~deleted:(fun n -> n.Lnode.deleted)
@@ -19,10 +21,13 @@ let create ~mode ?(window = 8) ?(scatter = true) ?adaptive ?strategy
       ~hash:Lnode.hash ~equal:Lnode.equal ?rr_config ?hp_threshold ()
   in
   { mode; head = Lnode.sentinel ();
-    window = Window.create ~scatter ?adaptive window; pool; max_attempts }
+    window = Window.create ~scatter ?adaptive ?fusion window;
+    middle = (if middle then Some (Tm.Middle.create ()) else None);
+    pool; max_attempts }
 
 let name t = t.mode.Mode.name
 let window_size t = Window.size t.window
+let fuse_budget t ~thread = Window.fuse_budget t.window ~thread
 
 (* The [Apply] function of Listing 5. [on_found txn ~prev ~curr] runs when a
    node with the key is found; [on_notfound txn ~prev ~curr] when the key is
@@ -32,6 +37,7 @@ let apply t ~thread ?(read_phase = false) key ~site ~on_found ~on_notfound =
   Rr.Hoh.apply_stamped ~rr:t.mode.Mode.ops ~site ?max_attempts:t.max_attempts
     ~read_phase
     ~window:(t.window, thread)
+    ?middle:t.middle
     (fun txn ~start ->
       let prev, budget =
         match start with
@@ -91,7 +97,9 @@ let insert t ~thread key = fst (insert_s t ~thread key)
 let remove t ~thread key = fst (remove_s t ~thread key)
 let lookup t ~thread key = fst (lookup_s t ~thread key)
 
-let finalize_thread t ~thread = t.mode.Mode.finalize ~thread
+let finalize_thread t ~thread =
+  t.mode.Mode.finalize ~thread;
+  Mempool.drain_magazines t.pool ~thread
 let drain t = t.mode.Mode.drain ()
 
 let to_list t =

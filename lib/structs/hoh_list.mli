@@ -16,6 +16,9 @@ val create :
   ?window:int ->
   ?scatter:bool ->
   ?adaptive:bool ->
+  ?fusion:int ->
+  ?middle:bool ->
+  ?magazines:bool ->
   ?strategy:Mempool.strategy ->
   ?rr_config:Rr.Config.t ->
   ?hp_threshold:int ->
@@ -26,6 +29,12 @@ val create :
     counts); [scatter] to [true]; [adaptive] to [false] (when set, the
     per-thread window controller of {!Rr.Hoh.Window} adjusts the live
     budget from contention feedback, with [window] as the starting point);
+    [fusion] to 1 (off; [k > 1] lets clean commits fuse up to [k]
+    consecutive windows into one transaction — see {!Rr.Hoh.Window});
+    [middle] to [false] (when set, exhausted speculative attempts retry
+    under this structure's middle-path lock before escalating to serial —
+    see {!Tm.Middle}); [magazines] to [false] (per-thread magazine caches
+    in front of the pool strategy — see {!Mempool.create});
     [strategy] to {!Mempool.Thread_arena};
     [max_attempts] to the TM default (the paper uses 2 for lists). *)
 
@@ -65,3 +74,7 @@ val check : t -> (unit, string) result
 val pool_stats : t -> Mempool.Stats.t
 val hazard_metrics : t -> Reclaim.Hazard.metrics option
 val window_size : t -> int
+
+val fuse_budget : t -> thread:int -> int
+(** [thread]'s live window-fusion budget ({!Rr.Hoh.Window.fuse_budget});
+    observability for tests of the shrink-on-abort controller. *)

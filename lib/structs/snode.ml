@@ -34,8 +34,8 @@ let tvar_ids n =
   Tm.tvar_id n.key :: Tm.tvar_id n.level :: Tm.tvar_id n.deleted
   :: Array.to_list (Array.map Tm.tvar_id n.next)
 
-let make_pool ?strategy () =
-  Mempool.create ?strategy ~make ~node_id:(fun n -> n.id)
+let make_pool ?strategy ?magazines () =
+  Mempool.create ?strategy ?magazines ~make ~node_id:(fun n -> n.id)
     ~state:(fun n -> n.pstate)
     ~poison ~tvar_ids
     ~probe_ids:(fun n -> [ Tm.tvar_id n.deleted ])

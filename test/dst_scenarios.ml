@@ -266,6 +266,132 @@ let read_phase_wait () =
         if !serial then failwith "read-phase transaction went serial");
   }
 
+(* ---- the middle path: lock-excluded retries between the rungs ---- *)
+
+(* Two incrementers of one counter, one speculative attempt each
+   ([max_attempts:1]), sharing a middle-path lock. The loser's retry runs
+   under the lock, excluded only from other middle-path transactions, and
+   commits without ever reaching the serial rung.
+
+   [expect] selects the check:
+   - [`Safe]   must hold on {e every} schedule: both increments commit and
+               the middle lock is released;
+   - [`Probe]  inverted — fail when the middle path fired; used once to
+               discover the pinned schedule below;
+   - [`Strong] the deterministic claim for pinned replays: the middle
+               path absorbed the contention (no serial fallback, no
+               Lock_busy storm under the lock). *)
+let middle_exclusion ~expect () =
+  Dst.Inject.clear ();
+  Tm.Thread.reset_ids_for_testing ();
+  let x = Tm.tvar 0 in
+  let m = Tm.Middle.create () in
+  let mid = ref 0 and serial = ref 0 and locky = ref 0 in
+  let incr_thread () =
+    Tm.Thread.with_registered (fun _ ->
+        let st = Tm.Thread.stats () in
+        Tm.Stats.reset st;
+        Tm.atomic ~max_attempts:1 ~middle:m (fun txn ->
+            Tm.write txn x (Tm.read txn x + 1));
+        mid := !mid + Tm.Stats.fallbacks_middle st;
+        serial := !serial + Tm.Stats.fallbacks_serial st;
+        locky := !locky + Tm.Stats.aborts_lock st)
+  in
+  {
+    Dst.Explore.init = None;
+    threads = [ incr_thread; incr_thread ];
+    check =
+      (fun () ->
+        let v = Tm.peek x in
+        if v <> 2 then failwith (Printf.sprintf "x = %d, wanted 2" v);
+        if Tm.Middle.locked m then failwith "middle lock still held";
+        match expect with
+        | `Safe -> ()
+        | `Probe -> if !mid > 0 then failwith "middle path taken"
+        | `Strong ->
+            if !mid < 1 then failwith "middle path never taken";
+            if !serial > 0 then
+              failwith
+                (Printf.sprintf "%d serial fallbacks despite the middle path"
+                   !serial);
+            if !locky > 2 then
+              failwith (Printf.sprintf "Lock_busy storm (%d aborts)" !locky));
+  }
+
+(* ---- window fusion: multiplicative shrink on a contended commit ---- *)
+
+(* Fusion-4 list, window 1: thread A's lookups fuse up to 4 one-node
+   windows per transaction, doubling the per-thread fuse budget on each
+   clean commit; thread B's scripted updates conflict with a fused
+   traversal, and the contended commit must halve the budget. Both logs
+   feed the stamp-order serializability oracle, so the fused windows also
+   prove they linearize correctly under fire.
+
+   [expect]: [`Safe] (every schedule: structure invariants + the
+   serializability oracle), [`Probe] (inverted — fail once the final fuse
+   budget shrank below the ceiling; the discovery run), [`Strong] (pinned:
+   the shrink deterministically happened). *)
+let fusion_shrink ~expect () =
+  Dst.Inject.clear ();
+  Tm.Thread.reset_ids_for_testing ();
+  let l =
+    Hoh_list.create
+      ~mode:(Mode.Rr_kind (module Rr.V))
+      ~window:1 ~scatter:false ~fusion:4 ()
+  in
+  let initial = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let init () =
+    Tm.Thread.with_registered (fun thread ->
+        List.iter (fun k -> ignore (Hoh_list.insert l ~thread k)) initial)
+  in
+  let logs = Array.make 2 [] in
+  let a_thread = ref 0 in
+  let entry op key (result, stamp) =
+    { Harness.Serial_check.op; key; result; earliest = stamp; stamp }
+  in
+  let scripted i script () =
+    Tm.Thread.with_registered (fun thread ->
+        if i = 0 then a_thread := thread;
+        logs.(i) <-
+          List.map
+            (fun (op, key) ->
+              match op with
+              | `I ->
+                  entry Harness.Workload.Insert key
+                    (Hoh_list.insert_s l ~thread key)
+              | `R ->
+                  entry Harness.Workload.Remove key
+                    (Hoh_list.remove_s l ~thread key)
+              | `L ->
+                  entry Harness.Workload.Lookup key
+                    (Hoh_list.lookup_s l ~thread key))
+            script)
+  in
+  let a = scripted 0 [ (`L, 8); (`L, 8) ] in
+  let b = scripted 1 [ (`R, 6); (`I, 9) ] in
+  {
+    Dst.Explore.init = Some init;
+    threads = [ a; b ];
+    check =
+      (fun () ->
+        (match Hoh_list.check l with Ok () -> () | Error e -> failwith e);
+        (match
+           Harness.Serial_check.check ~initial
+             [ Array.of_list logs.(0); Array.of_list logs.(1) ]
+         with
+        | Ok () -> ()
+        | Error e -> failwith e);
+        let budget = Hoh_list.fuse_budget l ~thread:!a_thread in
+        match expect with
+        | `Safe -> ()
+        | `Probe -> if budget < 4 then failwith "fuse budget shrank"
+        | `Strong ->
+            if budget >= 4 then
+              failwith
+                (Printf.sprintf "fuse budget %d did not shrink on abort"
+                   budget));
+  }
+
 (* ---- pinned minimized schedules and documented search budgets ---- *)
 
 (* bug #1, random search (budget 500, <= 2000 runs; found at seed 6 in 19
@@ -297,3 +423,17 @@ let sched_extend_ok = [| 1; 1 |]
    reader's revalidation finds its read set changed, the extension
    fails, and the second attempt snapshots (1,1). *)
 let sched_extend_fail = [| 1; 1; 1 |]
+
+(* middle path, random probe search over [middle_exclusion ~expect:`Probe]
+   (budget 300, <= 2000 runs; found at seed 1 in 22 runs): the second
+   incrementer reads x, the first runs to commit under it, the second's
+   validation fails and its retry acquires the uncontended middle lock
+   and commits — one middle fallback, zero serial. *)
+let sched_middle = [| 1; 1; 1; 0; 0; 0; 1; 1; 1; 1; 1 |]
+
+(* fusion shrink, PCT depth 2 over [fusion_shrink ~expect:`Probe] (budget
+   400, <= 6000 runs; found at seed 50 in 198 runs): A runs both lookups
+   until its final fused transaction is in flight with a grown budget,
+   then B's remove 6 + insert 9 commit under it; the contended commit
+   halves A's fuse budget below the ceiling. *)
+let sched_fusion = Array.concat [ Array.make 69 0; Array.make 60 1 ]

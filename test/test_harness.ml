@@ -283,6 +283,93 @@ let test_driver_catches_bugs () =
       let r = Driver.run spec broken in
       checkb "broken implementation rejected" true (r.Driver.verdict <> Ok ()))
 
+(* ---- raw-speed spec knobs ---- *)
+
+let opt_spec ?fusion ?middle ?magazines () =
+  Factories.Spec.v ?fusion ?middle ?magazines Factories.Spec.Slist
+    (Structs.Mode.Rr_kind (module Rr.V))
+
+let test_spec_opt_labels () =
+  let label s = Factories.Spec.label s in
+  let base = label (opt_spec ()) in
+  Alcotest.(check string)
+    "all three knobs suffix in order"
+    (base ^ "+fuse4+mid+mag")
+    (label (opt_spec ~fusion:4 ~middle:true ~magazines:true ()));
+  Alcotest.(check string)
+    "fusion 1 is the off state" base
+    (label (opt_spec ~fusion:1 ()));
+  Alcotest.(check string)
+    "explicit off knobs leave the label alone" base
+    (label (opt_spec ~middle:false ~magazines:false ()));
+  Alcotest.(check string)
+    "single knob" (base ^ "+mid")
+    (label (opt_spec ~middle:true ()))
+
+let test_spec_opt_json_roundtrip () =
+  let s = opt_spec ~fusion:4 ~middle:true ~magazines:true () in
+  let j = Factories.Spec.to_json s in
+  (match Factories.Spec.of_json j with
+  | Error e -> Alcotest.failf "of_json rejected its own to_json: %s" e
+  | Ok s' ->
+      checkb "round trip is lossless" true
+        (Telemetry.Json.equal j (Factories.Spec.to_json s'));
+      Alcotest.(check string)
+        "label survives" (Factories.Spec.label s) (Factories.Spec.label s'));
+  (* a tampered label must be caught against the recomputed one *)
+  let tampered =
+    match j with
+    | Telemetry.Json.Obj kvs ->
+        Telemetry.Json.Obj
+          (List.map
+             (fun (k, v) ->
+               if k = "label" then (k, Telemetry.Json.String "RR-V+fuse2")
+               else (k, v))
+             kvs)
+    | _ -> Alcotest.fail "to_json is not an object"
+  in
+  checkb "mismatched optimization label rejected" true
+    (Result.is_error (Factories.Spec.of_json tampered))
+
+let test_spec_opt_validation () =
+  checkb "fusion < 1 rejected" true
+    (match opt_spec ~fusion:0 () with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* The knobs must reach the structures: driver runs with all three on
+   must stay serializable. Beyond the plain list this sweeps the
+   structures whose window protocols publish state through [Tm.defer]
+   (the dlist two-phase remove, the skiplist resume hint) — fused
+   windows must treat those as fusion barriers, or the next window runs
+   against pre-commit state (a real bug this test caught). *)
+let test_driver_all_optimizations_on () =
+  Tm.Thread.with_registered (fun _ ->
+      let spec =
+        Workload.spec ~key_bits:6 ~lookup_pct:33 ~threads:2
+          ~ops_per_thread:1000 ()
+      in
+      List.iter
+        (fun structure ->
+          let h =
+            (Factories.make
+               (Factories.Spec.v ~fusion:4 ~middle:true ~magazines:true
+                  structure
+                  (Structs.Mode.Rr_kind (module Rr.V))))
+              .Factories.make ()
+          in
+          let r = Driver.run spec h in
+          checkb
+            (Factories.Spec.structure_name structure
+            ^ " serializable with fuse+mid+mag")
+            true
+            (r.Driver.verdict = Ok ());
+          check "ops counted" 2000 r.Driver.total_ops)
+        [
+          Factories.Spec.Slist; Factories.Spec.Dlist; Factories.Spec.Skiplist;
+          Factories.Spec.Hashset;
+        ])
+
 (* ---- reporting ---- *)
 
 let test_report_csv () =
@@ -340,6 +427,15 @@ let () =
           Alcotest.test_case "serial pressure" `Slow
             test_driver_serial_pressure;
           Alcotest.test_case "catches bugs" `Slow test_driver_catches_bugs;
+        ] );
+      ( "spec knobs",
+        [
+          Alcotest.test_case "labels" `Quick test_spec_opt_labels;
+          Alcotest.test_case "json round trip" `Quick
+            test_spec_opt_json_roundtrip;
+          Alcotest.test_case "validation" `Quick test_spec_opt_validation;
+          Alcotest.test_case "all-on driver run" `Slow
+            test_driver_all_optimizations_on;
         ] );
       ("report", [ Alcotest.test_case "csv" `Quick test_report_csv ]);
     ]
