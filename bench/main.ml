@@ -28,7 +28,13 @@ let usage () =
     \  service        sustained-load run against the sharded service;\n\
     \                 writes BENCH_service.json (schema hohtx-load/1)\n\
     \  service-smoke  miniature service load run + schema validation of\n\
-    \                 the emitted file (used by @service-load-smoke)\n\n\
+    \                 the emitted file (used by @service-load-smoke)\n\
+    \  soak           adversarial soak: scripted churn phases + stalled-\n\
+    \                 reader and crash adversaries; writes BENCH_soak.json\n\
+    \                 (schema hohtx-soak/1); with --scenario, replay one\n\
+    \                 DST adversary (stalled-reader|crash-commit|crash-2pc)\n\
+    \  soak-smoke     miniature deterministic soak + schema validation of\n\
+    \                 the emitted file (used by @soak-smoke)\n\n\
      options:\n\
     \  --json         emit the report as JSON on stdout too (telemetry,\n\
     \                 scaling)\n\
@@ -44,7 +50,13 @@ let usage () =
     \  --theta F      service: Zipfian skew exponent (default 0.99)\n\
     \  --rate R       service: open-loop arrival rate in req/s\n\
     \                 (default: closed loop)\n\
-    \  --duration S   service: steady-state window seconds (default 3)\n"
+    \  --duration S   service: steady-state window seconds (default 3)\n\
+    \  --seed N       soak: deterministic seed (default 0x50ac)\n\
+    \  --key-bits N   soak: key-range exponent (default 8)\n\
+    \  --phases S     soak: churn script, e.g. grow:4x400,storm:4x600@0.99\n\
+    \  --spec JSON    soak: full spec document (as emitted in reports)\n\
+    \  --scenario S   soak: run one DST adversary instead of the churn run\n\
+    \  --slo-us N     soak: per-op latency SLO in microseconds (default 1000)\n"
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -59,6 +71,12 @@ let () =
   let theta = ref 0.99 in
   let rate = ref None in
   let duration = ref 3.0 in
+  let seed = ref None in
+  let key_bits = ref None in
+  let phases = ref None in
+  let spec = ref None in
+  let scenario = ref None in
+  let slo_us = ref None in
   let command = ref [] in
   let rec parse = function
     | [] -> ()
@@ -115,13 +133,59 @@ let () =
         | _ ->
             prerr_endline "bad --duration";
             exit 2)
-    | "--threads" :: spec :: rest -> (
-        match parse_threads spec with
+    | "--threads" :: ts :: rest -> (
+        match parse_threads ts with
         | Some ts ->
             threads := ts;
             parse rest
         | None ->
             prerr_endline "bad --threads";
+            exit 2)
+    | "--seed" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n ->
+            seed := Some n;
+            parse rest
+        | None ->
+            prerr_endline "bad --seed";
+            exit 2)
+    | "--key-bits" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 && n <= 20 ->
+            key_bits := Some n;
+            parse rest
+        | _ ->
+            prerr_endline "bad --key-bits";
+            exit 2)
+    | "--phases" :: s :: rest -> (
+        match Soak.parse_phases s with
+        | Ok ps ->
+            phases := Some ps;
+            parse rest
+        | Error e ->
+            prerr_endline ("bad --phases: " ^ e);
+            exit 2)
+    | "--spec" :: s :: rest -> (
+        match
+          Result.bind (Telemetry.Json.of_string s)
+            Harness.Factories.Spec.of_json
+        with
+        | Ok sp ->
+            spec := Some sp;
+            parse rest
+        | Error e ->
+            prerr_endline ("bad --spec: " ^ e);
+            exit 2)
+    | "--scenario" :: s :: rest ->
+        scenario := Some s;
+        parse rest
+    | "--slo-us" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            slo_us := Some n;
+            parse rest
+        | _ ->
+            prerr_endline "bad --slo-us";
             exit 2)
     | ("--help" | "-h") :: _ ->
         usage ();
@@ -204,6 +268,26 @@ let () =
             }
             ~mode:(if !quick then "quick" else "full")
       | [ "service-smoke" ] -> Bench_service.smoke ()
+      | [ "soak" ] -> (
+          let d = Bench_soak.default_params in
+          let sp = Option.value !spec ~default:d.Bench_soak.spec in
+          let sd = Option.value !seed ~default:d.Bench_soak.seed in
+          match !scenario with
+          | Some sc -> Bench_soak.run_scenario ~scenario:sc ~seed:sd sp
+          | None ->
+              Bench_soak.run
+                {
+                  Bench_soak.spec = sp;
+                  phases = Option.value !phases ~default:d.Bench_soak.phases;
+                  key_bits =
+                    Option.value !key_bits ~default:d.Bench_soak.key_bits;
+                  seed = sd;
+                  slo_us = Option.value !slo_us ~default:d.Bench_soak.slo_us;
+                  json_stdout = !json;
+                  out = Option.value !out ~default:Bench_soak.default_out;
+                }
+                ~mode:(if !quick then "quick" else "full"))
+      | [ "soak-smoke" ] -> Bench_soak.smoke ()
       | _ ->
           usage ();
           exit 2)

@@ -122,7 +122,13 @@ let run family mode window scatter fusion middle magazines key_bits lookup_pct
       (match r.Driver.telemetry with
       | Some rep -> Format.printf "%a" Telemetry.Report.pp rep
       | None -> ());
-      match r.Driver.verdict with Ok () -> Ok 0 | Error _ -> Ok 1)
+      match r.Driver.verdict with
+      | Ok () -> Ok 0
+      | Error _ ->
+          (* a failed verdict must be replayable from the report alone *)
+          Format.printf "  repro: %s@."
+            (String.concat " " (Array.to_list Sys.argv));
+          Ok 1)
 
 let cmd =
   let family =

@@ -106,6 +106,7 @@ module Inject = struct
 
   type arm = {
     a_site : site;
+    a_thread : int option;  (* fire only for this logical thread id *)
     mutable skips : int;
     mutable fires : int;
     action : action;
@@ -113,8 +114,10 @@ module Inject = struct
 
   let arms : arm list ref = ref []
 
-  let arm ?(after = 0) ?(times = 1) site action =
-    arms := { a_site = site; skips = after; fires = times; action } :: !arms
+  let arm ?thread ?(after = 0) ?(times = 1) site action =
+    arms :=
+      { a_site = site; a_thread = thread; skips = after; fires = times; action }
+      :: !arms
 
   let clear () =
     arms := [];
@@ -129,6 +132,7 @@ module Inject = struct
       | a :: rest ->
           if
             a.a_site = site && a.fires > 0
+            && (match a.a_thread with None -> true | Some t -> t = !current)
             && (match a.action with Fail -> want_fail | Delay _ -> true)
           then
             if a.skips > 0 then begin

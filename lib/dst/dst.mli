@@ -111,10 +111,15 @@ module Inject : sig
     | Fail  (** report failure via {!point_fails} *)
     | Delay of int  (** insert [n] extra yields before proceeding *)
 
-  val arm : ?after:int -> ?times:int -> site -> action -> unit
-  (** Arm a fault at [site]: skip the first [after] visits, then fire on
-      the next [times] visits. Arms are consumed across runs; re-arm per
-      attempt (a scenario's builder is the natural place). *)
+  val arm : ?thread:int -> ?after:int -> ?times:int -> site -> action -> unit
+  (** Arm a fault at [site]: skip the first [after] eligible visits, then
+      fire on the next [times] visits. [?thread] restricts the arm to one
+      logical thread (the index of its body in the {!Sched.run} list), so
+      an adversary can arm a hot site — [Tm_commit], [Hoh_handoff] —
+      without tripping every other thread that passes it; visits by other
+      threads neither fire nor consume the arm. Arms are consumed across
+      runs; re-arm per attempt (a scenario's builder is the natural
+      place). *)
 
   val clear : unit -> unit
   (** Drop all arms and bug flags. *)

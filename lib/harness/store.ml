@@ -166,7 +166,7 @@ let of_hoh_list l =
       pr_size = (fun () -> size l);
       pr_contents = (fun () -> to_list l);
       pr_check = (fun () -> check l);
-      pr_pool_live = (fun () -> Some (pool_stats l).Mempool.Stats.live);
+      pr_pool_live = (fun () -> Some (pool_live l));
       pr_max_backlog = (fun () -> hazard_backlog (hazard_metrics l));
       pr_leaked = (fun () -> None);
     }
@@ -185,7 +185,7 @@ let of_hoh_dlist l =
       pr_size = (fun () -> size l);
       pr_contents = (fun () -> to_list l);
       pr_check = (fun () -> check l);
-      pr_pool_live = (fun () -> Some (pool_stats l).Mempool.Stats.live);
+      pr_pool_live = (fun () -> Some (pool_live l));
       pr_max_backlog = (fun () -> hazard_backlog (hazard_metrics l));
       pr_leaked = (fun () -> None);
     }
@@ -207,7 +207,7 @@ let of_bst_int t =
       pr_size = (fun () -> size t);
       pr_contents = (fun () -> to_list t);
       pr_check = (fun () -> check t);
-      pr_pool_live = (fun () -> Some (pool_stats t).Mempool.Stats.live);
+      pr_pool_live = (fun () -> Some (pool_live t));
       pr_max_backlog = (fun () -> None);
       pr_leaked = (fun () -> None);
     }
@@ -229,7 +229,7 @@ let of_bst_ext t =
       pr_size = (fun () -> size t);
       pr_contents = (fun () -> to_list t);
       pr_check = (fun () -> check t);
-      pr_pool_live = (fun () -> Some (pool_stats t).Mempool.Stats.live);
+      pr_pool_live = (fun () -> Some (pool_live t));
       pr_max_backlog = (fun () -> hazard_backlog (hazard_metrics t));
       pr_leaked = (fun () -> None);
     }
@@ -251,7 +251,7 @@ let of_hashset t =
       pr_size = (fun () -> size t);
       pr_contents = (fun () -> to_list t);
       pr_check = (fun () -> check t);
-      pr_pool_live = (fun () -> Some (pool_stats t).Mempool.Stats.live);
+      pr_pool_live = (fun () -> Some (pool_live t));
       pr_max_backlog = (fun () -> hazard_backlog (hazard_metrics t));
       pr_leaked = (fun () -> None);
     }
@@ -273,7 +273,7 @@ let of_skiplist t =
       pr_size = (fun () -> size t);
       pr_contents = (fun () -> to_list t);
       pr_check = (fun () -> check t);
-      pr_pool_live = (fun () -> Some (pool_stats t).Mempool.Stats.live);
+      pr_pool_live = (fun () -> Some (pool_live t));
       pr_max_backlog = (fun () -> hazard_backlog (hazard_metrics t));
       pr_leaked = (fun () -> None);
     }
@@ -297,7 +297,7 @@ let of_harris_list l =
       pr_size = (fun () -> size l);
       pr_contents = (fun () -> to_list l);
       pr_check = (fun () -> check l);
-      pr_pool_live = (fun () -> Some (pool_stats l).Mempool.Stats.live);
+      pr_pool_live = (fun () -> Some (pool_live l));
       pr_max_backlog = (fun () -> hazard_backlog (hazard_metrics l));
       pr_leaked = leaked;
     }

@@ -177,6 +177,7 @@ let check t =
   go min_int (Atomic.get t.head.next).tail
 
 let pool_stats t = Mempool.stats t.pool
+let pool_live t = Mempool.live t.pool
 
 let hazard_metrics t =
   match t.hazard with None -> None | Some h -> Some (Reclaim.Hazard.metrics h)

@@ -37,4 +37,8 @@ val check : t -> (unit, string) result
 (** Quiescent: strictly sorted, no marked node linked, linked nodes live. *)
 
 val pool_stats : t -> Mempool.Stats.t
+
+val pool_live : t -> int
+(** O(1) live-slot count ([Mempool.live]) for backlog sampling. *)
+
 val hazard_metrics : t -> Reclaim.Hazard.metrics option

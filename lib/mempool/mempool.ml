@@ -367,6 +367,7 @@ let flush_arenas t =
     done
 
 let magazines t = t.magazines
+let live t = Atomic.get t.allocs - Atomic.get t.frees
 
 let stats t =
   let allocs = Atomic.get t.allocs and frees = Atomic.get t.frees in

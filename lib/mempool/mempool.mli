@@ -106,6 +106,14 @@ val stats : 'a t -> Stats.t
 val strategy : 'a t -> strategy
 val magazines : 'a t -> bool
 
+val live : 'a t -> int
+(** Currently outstanding nodes ([allocs - frees]): two atomic loads, no
+    per-thread summation, so it is cheap enough to sample after every
+    operation. The soak harness's reclamation-backlog axis is built from
+    this trajectory — under RR the value tracks the structure's size
+    tightly, while a stalled EBR reader lets it grow with every deferred
+    retire. *)
+
 val drain_magazines : 'a t -> thread:int -> unit
 (** Return [thread]'s magazine-cached slots to the shared bins (counted
     in [global_ops]). The per-thread watermark-quiescence drain hook: call

@@ -45,4 +45,8 @@ val size : t -> int
 val depth : t -> int
 val check : t -> (unit, string) result
 val pool_stats : t -> Mempool.Stats.t
+
+val pool_live : t -> int
+(** O(1) live-slot count ([Mempool.live]) for backlog sampling. *)
+
 val hazard_metrics : t -> Reclaim.Hazard.metrics option

@@ -225,3 +225,4 @@ let check t =
   | exception Bad msg -> Error msg
 
 let pool_stats t = Mempool.stats t.pool
+let pool_live t = Mempool.live t.pool

@@ -56,3 +56,7 @@ val check : t -> (unit, string) result
     live and unpoisoned. *)
 
 val pool_stats : t -> Mempool.Stats.t
+
+val pool_live : t -> int
+(** O(1) live-slot count ([Mempool.live]) for backlog sampling. *)
+

@@ -64,4 +64,8 @@ val check : t -> (unit, string) result
     [n.prev.next == n] for every linked node. *)
 
 val pool_stats : t -> Mempool.Stats.t
+
+val pool_live : t -> int
+(** O(1) live-slot count ([Mempool.live]) for backlog sampling. *)
+
 val hazard_metrics : t -> Reclaim.Hazard.metrics option

@@ -147,4 +147,5 @@ let check t =
   with Bad m -> Error m
 
 let pool_stats t = Mempool.stats t.pool
+let pool_live t = Mempool.live t.pool
 let hazard_metrics t = t.mode.Mode.hazard_metrics ()

@@ -45,4 +45,8 @@ val to_list : t -> int list
 val size : t -> int
 val check : t -> (unit, string) result
 val pool_stats : t -> Mempool.Stats.t
+
+val pool_live : t -> int
+(** O(1) live-slot count ([Mempool.live]) for backlog sampling. *)
+
 val hazard_metrics : t -> Reclaim.Hazard.metrics option

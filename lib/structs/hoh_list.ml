@@ -130,4 +130,5 @@ let check t =
   go min_int (Tm.peek t.head.Lnode.next)
 
 let pool_stats t = Mempool.stats t.pool
+let pool_live t = Mempool.live t.pool
 let hazard_metrics t = t.mode.Mode.hazard_metrics ()

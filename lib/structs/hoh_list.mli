@@ -72,6 +72,10 @@ val check : t -> (unit, string) result
     logically-deleted node linked, every linked node live in the pool. *)
 
 val pool_stats : t -> Mempool.Stats.t
+
+val pool_live : t -> int
+(** O(1) live-slot count ([Mempool.live]) for backlog sampling. *)
+
 val hazard_metrics : t -> Reclaim.Hazard.metrics option
 val window_size : t -> int
 

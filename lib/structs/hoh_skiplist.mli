@@ -61,4 +61,8 @@ val check : t -> (unit, string) result
     l-1; towers match [level]; no deleted/poisoned/freed node linked. *)
 
 val pool_stats : t -> Mempool.Stats.t
+
+val pool_live : t -> int
+(** O(1) live-slot count ([Mempool.live]) for backlog sampling. *)
+
 val hazard_metrics : t -> Reclaim.Hazard.metrics option

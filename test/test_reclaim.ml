@@ -207,6 +207,46 @@ let test_hp_concurrent () =
       check "everything freed" 8000 (Atomic.get free_count);
       check "no backlog" 0 m.Reclaim.Hazard.backlog)
 
+(* ---- stalled-reader backlog contrast (regression pin) ----
+
+   The soak adversary parks a reader mid-traversal and measures the
+   reclamation backlog per churn round. This pins the paper's headline
+   asymmetry as a regression test: EBR's deferred frees grow monotonically
+   once the parked reader wedges the epoch, while RR's precise frees keep
+   the backlog at the baseline no matter how long the reader stalls. *)
+
+let test_stalled_reader_backlog_contrast () =
+  let rounds = 16 in
+  let run kind =
+    Soak.stalled_reader ~rounds ~seed:7
+      (Harness.Factories.Spec.v Harness.Factories.Spec.Slist kind)
+  in
+  let rr = run (Structs.Mode.Rr_kind (module Rr.V)) in
+  let ebr = run Structs.Mode.Ebr in
+  (match rr.Soak.s_error with
+  | None -> ()
+  | Some e -> Alcotest.failf "RR scenario: %s" e);
+  (match ebr.Soak.s_error with
+  | None -> ()
+  | Some e -> Alcotest.failf "EBR scenario: %s" e);
+  let samples = ebr.Soak.s_samples in
+  let n = Array.length samples in
+  checkb "EBR backlog grows past threshold" true
+    (ebr.Soak.s_hwm >= rounds / 2);
+  checkb "EBR growth never reverses while the reader is parked" true
+    (n > 0 && samples.(n - 1) = ebr.Soak.s_hwm);
+  (* once the trajectory clears the noise floor the growth is monotone *)
+  let wedged = ref false and monotone = ref true in
+  Array.iteri
+    (fun i v ->
+      if v > 2 then wedged := true;
+      if !wedged && i > 0 && v < samples.(i - 1) then monotone := false)
+    samples;
+  checkb "EBR backlog monotone once wedged" true !monotone;
+  checkb "RR backlog stays bounded" true (rr.Soak.s_hwm <= 2);
+  checkb "EBR high-water strictly above RR" true
+    (ebr.Soak.s_hwm > rr.Soak.s_hwm)
+
 let () =
   Alcotest.run "reclaim"
     [
@@ -236,5 +276,11 @@ let () =
           Alcotest.test_case "incr/decr" `Quick test_rc;
           Alcotest.test_case "rollback" `Quick test_rc_rollback;
           Alcotest.test_case "negative" `Quick test_rc_negative;
+        ] );
+      (* last: the scenario resets the TM thread-id space *)
+      ( "soak backlog",
+        [
+          Alcotest.test_case "stalled reader: EBR grows, RR bounded" `Quick
+            test_stalled_reader_backlog_contrast;
         ] );
     ]

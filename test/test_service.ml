@@ -375,6 +375,70 @@ let test_kill_mid_prepare_recovers =
      the gates and clears the intent *)
   kill_between_phases ~delay_site:Dst.Svc_prepare ~applied_before_kill:0
 
+(* Recovery with magazines on: the victim's applied remove freed its node
+   into the dead thread's magazine. Frees are counted at free time, above
+   the magazine layer, so pool accounting must already be exact right
+   after [recover]; finalizing the dead thread (which runs its
+   [drain_magazines]) and the full drain must only move cached slots,
+   never change the live count. *)
+let test_kill_mid_apply_mag_recovers () =
+  Dst.Inject.clear ();
+  Tm.Thread.reset_ids_for_testing ();
+  let mag_spec =
+    Factories.Spec.v ~window:4 ~scatter:false ~shards:2 ~fuse:true
+      ~magazines:true Factories.Spec.Slist
+      (Structs.Mode.Rr_kind (module Rr.V))
+  in
+  let svc = Service.create mag_spec in
+  let contains_sub s sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  checkb "magazines are on in the label" true
+    (contains_sub (Service.label svc) "+mag");
+  let kept = key_in_shard svc ~shard:0 ~avoid:[] in
+  let fresh = key_in_shard svc ~shard:1 ~avoid:[ kept ] in
+  let init () =
+    with_thread (fun ~thread ->
+        ignore (Service.exec svc ~thread (Store.Insert kept)))
+  in
+  let victim_tid = ref (-1) in
+  let victim () =
+    with_thread (fun ~thread ->
+        victim_tid := thread;
+        Dst.Inject.arm ~after:1 Dst.Svc_apply (Dst.Inject.Delay 1_000_000);
+        ignore
+          (Service.multi svc ~thread
+             [| Store.Remove kept; Store.Insert fresh |]))
+  in
+  let o = Dst.Sched.run ~budget:5_000 ~init (Dst.Sched.Random 1) [ victim ] in
+  checkb "run hung at the stalled apply" true o.Dst.Sched.hung;
+  checkb "hang is not a failure" false (Dst.Sched.failed o);
+  checkb "check reports the abandoned intent" true
+    (Result.is_error (Service.check svc));
+  let resolved = with_thread (fun ~thread:_ -> Service.recover svc) in
+  check "one intent resolved" 1 resolved;
+  checkb "contents restored to all-or-nothing" true
+    (Service.contents svc = [ kept ]);
+  (match Service.check svc with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "after recover: %s" e);
+  (* accounting is exact even while the victim's magazine still caches
+     the freed slot *)
+  (match Service.pool_live svc with
+  | Some live -> check "pool live exact before magazine drain" 1 live
+  | None -> Alcotest.fail "expected pool accounting");
+  with_thread (fun ~thread:_ ->
+      Service.finalize_thread svc ~thread:!victim_tid);
+  Service.drain svc;
+  (match Service.pool_live svc with
+  | Some live -> check "pool live unchanged by magazine drain" 1 live
+  | None -> Alcotest.fail "expected pool accounting");
+  Dst.Inject.clear ()
+
 (* ---------------------------------------------------------------- *)
 (* DST: serializability of mixed single/multi traffic                *)
 (* ---------------------------------------------------------------- *)
@@ -527,6 +591,8 @@ let () =
             test_kill_mid_apply_recovers;
           Alcotest.test_case "kill mid-prepare, recover" `Quick
             test_kill_mid_prepare_recovers;
+          Alcotest.test_case "kill mid-apply with magazines, recover" `Quick
+            test_kill_mid_apply_mag_recovers;
           Alcotest.test_case "serializability oracle" `Quick
             test_serial_oracle;
         ] );
