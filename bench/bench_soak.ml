@@ -1,10 +1,11 @@
 (* Adversarial soak harness (`main.exe soak`).
 
-   One run = a scripted churn pass over the spec (and a second pass
-   routed through the sharded service with magazines on), then the two
-   DST adversaries: the stalled-reader backlog contrast (EBR vs RR on
-   the same schedule) and the crash scenarios (kill mid-commit, kill
-   mid-2PC). The run emits a [hohtx-soak/1] JSON artifact;
+   One run = a scripted churn pass over the spec (then a second pass
+   routed through the sharded service with magazines on, and a third
+   with the worker pool and hot cache on, every op through the async
+   submit/await path), then the two DST adversaries: the stalled-reader
+   backlog contrast (EBR vs RR on the same schedule) and the crash
+   scenarios (kill mid-commit, kill mid-2PC). The run emits a [hohtx-soak/1] JSON artifact;
    `main.exe soak-smoke` runs a miniature, checks determinism of the
    adversary trajectory under the fixed seed, and validates the emitted
    file against the schema (the @soak-smoke alias).
@@ -70,6 +71,14 @@ let collect p =
     { p.spec with Spec.shards = Some 2; fuse = Some true; magazines = Some true }
   in
   let sharded = churn svc_spec in
+  (* third pass: same sharded spec with the worker pool and hot cache
+     on; run_churn routes every op through submit/await, so the async
+     queues, fused drains and cache invalidation churn for whole phases
+     under real domains, then must survive shutdown with zero leaks *)
+  let pooled_spec =
+    { svc_spec with Spec.pool = Some true; hotcache = Some true }
+  in
+  let pooled = churn pooled_spec in
   let stall kind =
     Soak.stalled_reader ~seed:p.seed (Spec.v p.spec.Spec.structure kind)
   in
@@ -83,7 +92,7 @@ let collect p =
       (Spec.v ~window:4 ~shards:2 ~fuse:true ~magazines:true Spec.Slist rr_v)
   in
   {
-    r_churn = [ (false, plain); (true, sharded) ];
+    r_churn = [ (false, plain); (true, sharded); (true, pooled) ];
     r_stall_rr = stall_rr;
     r_stall_ebr = stall_ebr;
     r_crashes = [ crash1; crash2 ];

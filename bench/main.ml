@@ -27,8 +27,12 @@ let usage () =
     \                 emitted file (used by @bench-smoke)\n\
     \  service        sustained-load run against the sharded service;\n\
     \                 writes BENCH_service.json (schema hohtx-load/1)\n\
-    \  service-smoke  miniature service load run + schema validation of\n\
-    \                 the emitted file (used by @service-load-smoke)\n\
+    \  service-matrix service-knob probe matrix: caller-runs baseline,\n\
+    \                 +pool, +pool+hotcache, all-on, plus an open-loop\n\
+    \                 overload pair asserting SLO shedding; writes\n\
+    \                 BENCH_service.json (schema hohtx-load/1, matrix doc)\n\
+    \  service-smoke  miniature probe matrix + schema/verdict validation\n\
+    \                 of the emitted file (used by @service-load-smoke)\n\
     \  soak           adversarial soak: scripted churn phases + stalled-\n\
     \                 reader and crash adversaries; writes BENCH_soak.json\n\
     \                 (schema hohtx-soak/1); with --scenario, replay one\n\
@@ -51,10 +55,13 @@ let usage () =
     \  --rate R       service: open-loop arrival rate in req/s\n\
     \                 (default: closed loop)\n\
     \  --duration S   service: steady-state window seconds (default 3)\n\
-    \  --seed N       soak: deterministic seed (default 0x50ac)\n\
-    \  --key-bits N   soak: key-range exponent (default 8)\n\
+    \  --pipeline N   service: outstanding async submissions per client\n\
+    \                 (default 1 = synchronous issue)\n\
+    \  --seed N       soak/service: deterministic seed\n\
+    \  --key-bits N   soak/service: key-range exponent (default 8/10)\n\
     \  --phases S     soak: churn script, e.g. grow:4x400,storm:4x600@0.99\n\
-    \  --spec JSON    soak: full spec document (as emitted in reports)\n\
+    \  --spec JSON    soak/service: full spec document (as emitted in\n\
+    \                 reports; service: includes pool/hotcache/slo knobs)\n\
     \  --scenario S   soak: run one DST adversary instead of the churn run\n\
     \  --slo-us N     soak: per-op latency SLO in microseconds (default 1000)\n"
 
@@ -77,6 +84,7 @@ let () =
   let spec = ref None in
   let scenario = ref None in
   let slo_us = ref None in
+  let pipeline = ref None in
   let command = ref [] in
   let rec parse = function
     | [] -> ()
@@ -179,6 +187,14 @@ let () =
     | "--scenario" :: s :: rest ->
         scenario := Some s;
         parse rest
+    | "--pipeline" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            pipeline := Some n;
+            parse rest
+        | _ ->
+            prerr_endline "bad --pipeline";
+            exit 2)
     | "--slo-us" :: n :: rest -> (
         match int_of_string_opt n with
         | Some n when n >= 1 ->
@@ -253,16 +269,34 @@ let () =
             {
               d with
               Bench_service.spec =
-                { d.Bench_service.spec with
-                  Harness.Factories.Spec.shards = Some !shards };
+                (match !spec with
+                | Some sp -> sp
+                | None ->
+                    { d.Bench_service.spec with
+                      Harness.Factories.Spec.shards = Some !shards });
               threads = List.fold_left max 1 !threads;
               theta = !theta;
+              key_bits =
+                Option.value !key_bits ~default:d.Bench_service.key_bits;
+              seed = Option.value !seed ~default:d.Bench_service.seed;
+              pipeline =
+                Option.value !pipeline ~default:d.Bench_service.pipeline;
               arrival =
                 (match !rate with
                 | Some r -> Bench_service.Open_loop r
                 | None -> Bench_service.Closed_loop);
               warmup_s = (if !quick then 0.5 else 1.0);
               measure_s = !duration;
+              json_stdout = !json;
+              out = Option.value !out ~default:Bench_service.default_out;
+            }
+            ~mode:(if !quick then "quick" else "full")
+      | [ "service-matrix" ] ->
+          let threads = List.fold_left max 1 !threads in
+          Bench_service.run_matrix
+            {
+              (Bench_service.matrix_params ~threads ~measure_s:!duration) with
+              Bench_service.theta = !theta;
               json_stdout = !json;
               out = Option.value !out ~default:Bench_service.default_out;
             }

@@ -31,6 +31,9 @@ type site =
   | Svc_gate
   | Svc_prepare
   | Svc_apply
+  | Svc_enqueue
+  | Svc_drain
+  | Svc_cache
   | User of int
 
 let site_name = function
@@ -66,6 +69,9 @@ let site_name = function
   | Svc_gate -> "service.gate"
   | Svc_prepare -> "service.prepare"
   | Svc_apply -> "service.apply"
+  | Svc_enqueue -> "service.enqueue"
+  | Svc_drain -> "service.drain"
+  | Svc_cache -> "service.cache"
   | User n -> "user." ^ string_of_int n
 
 exception Killed
@@ -85,15 +91,21 @@ let[@inline] scheduled () =
   !enabled && my_domain () = !sched_domain && !current >= 0
 
 module Inject = struct
-  type bug = Snapshot_straddle | Ro_publication | Stale_hint | Tear_2pc
+  type bug =
+    | Snapshot_straddle
+    | Ro_publication
+    | Stale_hint
+    | Tear_2pc
+    | Stale_cache
 
   let bug_idx = function
     | Snapshot_straddle -> 0
     | Ro_publication -> 1
     | Stale_hint -> 2
     | Tear_2pc -> 3
+    | Stale_cache -> 4
 
-  let bugs = Array.make 4 false
+  let bugs = Array.make 5 false
   let set_bug b v = bugs.(bug_idx b) <- v
   let[@inline] bug b = !enabled && Array.unsafe_get bugs (bug_idx b)
   let clear_bugs () = Array.fill bugs 0 (Array.length bugs) false

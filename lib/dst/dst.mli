@@ -49,6 +49,13 @@ type site =
   | Svc_gate  (** service shard gate acquire/release *)
   | Svc_prepare  (** between 2PC prepare sub-steps of a cross-shard multi *)
   | Svc_apply  (** between 2PC apply sub-steps of a cross-shard multi *)
+  | Svc_enqueue
+      (** worker-pool submission: before a request lands in a shard
+          queue, and inside the await spin of a completion cell *)
+  | Svc_drain  (** worker-pool drain: before a worker fuses the queue head *)
+  | Svc_cache
+      (** hot-cache lookup: before the slot read, so a writer's commit +
+          invalidation can interleave between consecutive cached reads *)
   | User of int  (** scenario-private sites (allocates; tests only) *)
 
 val site_name : site -> string
@@ -97,8 +104,17 @@ module Inject : sig
         tower no longer matches.
       - [Tear_2pc]: bug #4 — the service layer skips compensating rollback
         when a cross-shard multi-key op fails mid-apply, leaving a torn
-        partial write behind (see DESIGN.md decision 10). *)
-  type bug = Snapshot_straddle | Ro_publication | Stale_hint | Tear_2pc
+        partial write behind (see DESIGN.md decision 10).
+      - [Stale_cache]: bug #5 — the service layer skips the hot-cache
+        epoch bump after a write commits, so cache hits can serve values
+        older than the shard's last committed stamp (caught by the TxSan
+        stale-cache-hit rule; see DESIGN.md decision 13). *)
+  type bug =
+    | Snapshot_straddle
+    | Ro_publication
+    | Stale_hint
+    | Tear_2pc
+    | Stale_cache
 
   val set_bug : bug -> bool -> unit
 

@@ -24,11 +24,14 @@ module Spec = struct
     split_unlink : bool option;
     shards : int option;
     fuse : bool option;
+    pool : bool option;
+    hotcache : bool option;
+    slo_us : int option;
   }
 
   let v ?window ?scatter ?adaptive ?fusion ?middle ?magazines ?strategy
-      ?rr_config ?max_attempts ?buckets ?split_unlink ?shards ?fuse structure
-      kind =
+      ?rr_config ?max_attempts ?buckets ?split_unlink ?shards ?fuse ?pool
+      ?hotcache ?slo_us structure kind =
     (match buckets with
     | Some _ when structure <> Hashset ->
         invalid_arg "Factories.Spec.v: buckets only applies to Hashset"
@@ -44,6 +47,12 @@ module Spec = struct
     (match fusion with
     | Some k when k < 1 ->
         invalid_arg "Factories.Spec.v: fusion must be >= 1"
+    | _ -> ());
+    (match slo_us with
+    | Some us when us < 1 ->
+        invalid_arg "Factories.Spec.v: slo_us must be >= 1"
+    | Some _ when pool <> Some true ->
+        invalid_arg "Factories.Spec.v: slo_us requires pool (admission control rides the worker queues)"
     | _ -> ());
     {
       structure;
@@ -61,6 +70,9 @@ module Spec = struct
       split_unlink;
       shards;
       fuse;
+      pool;
+      hotcache;
+      slo_us;
     }
 
   let structure_name = function
@@ -95,6 +107,13 @@ module Spec = struct
     in
     let base = if t.middle = Some true then base ^ "+mid" else base in
     let base = if t.magazines = Some true then base ^ "+mag" else base in
+    let base = if t.pool = Some true then base ^ "+pool" else base in
+    let base = if t.hotcache = Some true then base ^ "+hotcache" else base in
+    let base =
+      match t.slo_us with
+      | Some us -> Printf.sprintf "%s+slo%d" base us
+      | None -> base
+    in
     match t.shards with
     | None | Some 1 -> base
     | Some n -> Printf.sprintf "%s/x%d" base n
@@ -143,6 +162,9 @@ module Spec = struct
       @@ opt "split_unlink" (fun b -> J.Bool b) t.split_unlink
       @@ opt "shards" (fun i -> J.Int i) t.shards
       @@ opt "fuse" (fun b -> J.Bool b) t.fuse
+      @@ opt "pool" (fun b -> J.Bool b) t.pool
+      @@ opt "hotcache" (fun b -> J.Bool b) t.hotcache
+      @@ opt "slo_us" (fun i -> J.Int i) t.slo_us
       @@ []))
 
   let of_json json =
@@ -200,11 +222,14 @@ module Spec = struct
     let* split_unlink = optional "split_unlink" J.to_bool in
     let* shards = optional "shards" J.to_int in
     let* fuse = optional "fuse" J.to_bool in
+    let* pool = optional "pool" J.to_bool in
+    let* hotcache = optional "hotcache" J.to_bool in
+    let* slo_us = optional "slo_us" J.to_int in
     let* t =
       match
         v ?window ?scatter ?adaptive ?fusion ?middle ?magazines ?strategy
-          ?rr_config ?max_attempts ?buckets ?split_unlink ?shards ?fuse
-          structure kind
+          ?rr_config ?max_attempts ?buckets ?split_unlink ?shards ?fuse ?pool
+          ?hotcache ?slo_us structure kind
       with
       | t -> Ok t
       | exception Invalid_argument m -> Error m
@@ -223,7 +248,7 @@ end
 let make (s : Spec.t) =
   let { Spec.structure; kind; window; scatter; adaptive; fusion; middle;
         magazines; strategy; rr_config; max_attempts; buckets; split_unlink;
-        shards = _; fuse = _ } = s in
+        shards = _; fuse = _; pool = _; hotcache = _; slo_us = _ } = s in
   let build () =
     match structure with
     | Spec.Slist ->

@@ -43,6 +43,16 @@ module Spec : sig
     fuse : bool option;
         (** service layer: fuse same-shard batches into one irrevocable
             transaction (see {!Store_intf.S.batch}) *)
+    pool : bool option;
+        (** service layer: per-shard worker domains draining bounded
+            request queues ({!Service} async submission path) *)
+    hotcache : bool option;
+        (** service layer: versioned hot-key read cache in front of the
+            router, invalidated by per-shard epoch bumps at commit *)
+    slo_us : int option;
+        (** service layer: p99 lag SLO (microseconds) for admission
+            control; low-priority requests are shed with [Overload] when
+            the projection exceeds it. Requires [pool]. *)
   }
 
   val v :
@@ -59,13 +69,17 @@ module Spec : sig
     ?split_unlink:bool ->
     ?shards:int ->
     ?fuse:bool ->
+    ?pool:bool ->
+    ?hotcache:bool ->
+    ?slo_us:int ->
     structure ->
     Structs.Mode.kind ->
     t
   (** [v structure kind] builds a spec with every knob at the structure's
       default.
       @raise Invalid_argument if [buckets] or [split_unlink] is given for a
-      structure it does not apply to, [shards < 1], or [fusion < 1]. *)
+      structure it does not apply to, [shards < 1], [fusion < 1],
+      [slo_us < 1], or [slo_us] is given without [pool]. *)
 
   val structure_name : structure -> string
   val structure_of_name : string -> structure option
@@ -78,8 +92,9 @@ module Spec : sig
   (** The curve label used in reports: the mode's name, suffixed with
       ["-hash"] / ["-skip"] for the structures the paper plots separately,
       ["+fuseK"] when [fusion = Some k, k > 1], ["+mid"] / ["+mag"] when
-      the middle path / magazines are on, and ["/xN"] when sharded
-      ([shards > 1]). *)
+      the middle path / magazines are on, ["+pool"] / ["+hotcache"] /
+      ["+sloUS"] for the service worker-pool, hot-cache, and admission
+      knobs, and ["/xN"] when sharded ([shards > 1]). *)
 
   val to_json : t -> Telemetry.Json.t
   (** Data form of a spec. The emitted object leads with a derived

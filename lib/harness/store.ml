@@ -7,7 +7,7 @@ let op_key = function
 let positive = function
   | Found | Inserted | Removed -> true
   | Keys ks -> ks <> []
-  | Absent | Duplicate | Missing -> false
+  | Absent | Duplicate | Missing | Overload -> false
 
 let outcome_name = function
   | Found -> "found"
@@ -17,6 +17,7 @@ let outcome_name = function
   | Removed -> "removed"
   | Missing -> "missing"
   | Keys _ -> "keys"
+  | Overload -> "overload"
 
 type t = Packed : (module S with type t = 'a) * 'a -> t
 

@@ -14,6 +14,7 @@ type outcome = Store_intf.outcome =
   | Removed
   | Missing
   | Keys of int list
+  | Overload
 
 type reply = Store_intf.reply = {
   outcome : outcome;

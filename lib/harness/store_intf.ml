@@ -29,6 +29,9 @@ type outcome =
   | Removed  (** remove: key was deleted *)
   | Missing  (** remove: key not present, nothing changed *)
   | Keys of int list  (** scan: present keys of the range, ascending *)
+  | Overload
+      (** service admission control shed the request before execution;
+          carries zero stamps and never enters a serialization history *)
 
 type reply = {
   outcome : outcome;

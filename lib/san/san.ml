@@ -6,6 +6,7 @@ type rule =
   | Lock_leak
   | Non_txn_access
   | Stale_read
+  | Stale_cache_hit
 
 let all_rules =
   [
@@ -16,6 +17,7 @@ let all_rules =
     Lock_leak;
     Non_txn_access;
     Stale_read;
+    Stale_cache_hit;
   ]
 
 let rule_id = function
@@ -26,6 +28,7 @@ let rule_id = function
   | Lock_leak -> "lock-leak"
   | Non_txn_access -> "non-txn-access"
   | Stale_read -> "stale-read"
+  | Stale_cache_hit -> "stale-cache-hit"
 
 let rule_index = function
   | Use_after_free -> 0
@@ -35,6 +38,7 @@ let rule_index = function
   | Lock_leak -> 4
   | Non_txn_access -> 5
   | Stale_read -> 6
+  | Stale_cache_hit -> 7
 
 type event = { what : string; thread : int; site : string; stamp : int }
 
@@ -985,3 +989,24 @@ let ep_leave_slow ~thread =
   Mutex.unlock m
 
 let[@inline] ep_leave ~thread = if !on then ep_leave_slow ~thread
+
+(* ------------------------------------------------------------------ *)
+(* Service hot-cache freshness                                         *)
+(* ------------------------------------------------------------------ *)
+
+let cache_hit_slow ~thread ~shard ~stamp ~last_write =
+  if stamp < last_write then
+    deliver_all
+      [
+        mk Stale_cache_hit ~tid:thread ~site:"service.hotcache"
+          ~subject:(Printf.sprintf "shard #%d" shard)
+          ~detail:
+            (Printf.sprintf
+               "cache hit served stamp %d but the shard's last committed \
+                write is stamp %d (missed invalidation)"
+               stamp last_write)
+          ~key:min_int;
+      ]
+
+let[@inline] cache_hit ~thread ~shard ~stamp ~last_write =
+  if !on then cache_hit_slow ~thread ~shard ~stamp ~last_write

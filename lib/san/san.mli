@@ -50,12 +50,16 @@ type rule =
       (** A transactional read validated against a snapshot that straddles
           an in-flight serial (irrevocable) writer — the serial-fallback
           publication race of DESIGN.md bug #1. *)
+  | Stale_cache_hit
+      (** A service hot-cache hit returned a value older than the shard's
+          last committed write stamp — a write committed without bumping
+          the shard's invalidation epoch (DESIGN.md bug #5). *)
 
 val all_rules : rule list
 val rule_id : rule -> string
 (** Stable slug: ["use-after-free"], ["unchecked-carry"],
     ["reservation-leak"], ["double-revoke"], ["lock-leak"],
-    ["non-txn-access"], ["stale-read"]. *)
+    ["non-txn-access"], ["stale-read"], ["stale-cache-hit"]. *)
 
 type event = {
   what : string;  (** "alloc" / "free" / "reserve" / "revoke" / ... *)
@@ -233,3 +237,12 @@ val hp_protect : group:int -> thread:int -> slot:int -> node:int -> unit
 val hp_clear : group:int -> thread:int -> slot:int -> unit
 val ep_enter : thread:int -> unit
 val ep_leave : thread:int -> unit
+
+(** {2 Service hot-cache hooks} *)
+
+val cache_hit : thread:int -> shard:int -> stamp:int -> last_write:int -> unit
+(** A hot-cache hit is about to serve the cached reply committed at
+    [stamp]; [last_write] is the shard's last committed write stamp as
+    published by the invalidation protocol. [stamp < last_write] means an
+    invalidation was missed and the hit is stale ({!Stale_cache_hit}).
+    Delivered eagerly — cache hits happen outside any transaction. *)

@@ -1,0 +1,142 @@
+(* Hot-key read cache in front of the service router.
+
+   One small direct-mapped table per shard, versioned by a per-shard
+   invalidation epoch instead of per-key deletion: a populated entry
+   remembers the epoch observed *before* its lookup transaction ran, and
+   a hit is valid only while the shard's epoch is unchanged. Any write
+   committing against the shard bumps the epoch (while the shard gate is
+   still held), which invalidates every cached entry of that shard at
+   once — cheap for writers, and immune to the populate/invalidate race:
+   a reply populated concurrently with a write carries the pre-write
+   epoch and can never be served (DESIGN.md, decision 13).
+
+   Freshness is checkable: alongside the epoch the shard publishes the
+   stamp of its last committed write (bumped first, so a matching epoch
+   implies the published stamp predates the entry's lookup). On every hit
+   the TxSan hook asserts [entry stamp >= last committed write stamp];
+   the [Stale_cache] injected bug (skip the bump) trips it. *)
+
+open Harness
+
+type entry = {
+  e_key : int;
+  e_epoch : int;  (** shard epoch observed before the lookup transaction *)
+  e_present : bool;
+  e_earliest : int;
+  e_stamp : int;
+}
+
+type shard = {
+  epoch : int Atomic.t;
+  last_write : int Atomic.t;  (** max commit stamp of any write, CAS-maxed *)
+  slots : entry option Atomic.t array;
+}
+
+type t = {
+  mask : int;
+  shards : shard array;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  invalidations : int Atomic.t;
+}
+
+let default_capacity = 256
+
+let create ?(capacity = default_capacity) ~shards () =
+  if shards < 1 then invalid_arg "Hotcache.create: shards must be >= 1";
+  let cap =
+    (* round up to a power of two so the slot index is a mask *)
+    let rec up n = if n >= capacity then n else up (n * 2) in
+    up 16
+  in
+  {
+    mask = cap - 1;
+    shards =
+      Array.init shards (fun _ ->
+          {
+            epoch = Pad.atomic 0;
+            last_write = Pad.atomic 0;
+            slots = Array.init cap (fun _ -> Atomic.make None);
+          });
+    hits = Pad.atomic 0;
+    misses = Pad.atomic 0;
+    invalidations = Pad.atomic 0;
+  }
+
+let epoch t ~shard = Atomic.get t.shards.(shard).epoch
+
+(* Lookup for a single-key [Get]. A hit returns the cached reply; the
+   entry is valid only when populated under the current epoch. *)
+let find t ~shard ~thread key =
+  let s = t.shards.(shard) in
+  Dst.point Dst.Svc_cache;
+  match Atomic.get s.slots.(key land t.mask) with
+  | Some e when e.e_key = key && e.e_epoch = Atomic.get s.epoch ->
+      Atomic.incr t.hits;
+      San.cache_hit ~thread ~shard ~stamp:e.e_stamp
+        ~last_write:(Atomic.get s.last_write);
+      Some
+        {
+          Store.outcome = (if e.e_present then Store.Found else Store.Absent);
+          earliest = e.e_earliest;
+          stamp = e.e_stamp;
+        }
+  | _ ->
+      Atomic.incr t.misses;
+      None
+
+(* Populate from a lookup reply. [epoch0] must have been read (via
+   {!epoch}) before the lookup transaction started: if a write committed
+   since, the current epoch has moved past [epoch0] and the entry is
+   stillborn — present but never served. *)
+let note t ~shard ~epoch0 key (r : Store.reply) =
+  match r.Store.outcome with
+  | Store.Found | Store.Absent ->
+      let s = t.shards.(shard) in
+      Atomic.set
+        s.slots.(key land t.mask)
+        (Some
+           {
+             e_key = key;
+             e_epoch = epoch0;
+             e_present = r.Store.outcome = Store.Found;
+             e_earliest = r.Store.earliest;
+             e_stamp = r.Store.stamp;
+           })
+  | _ -> ()
+
+(* A write committed at [stamp] against [shard]: invalidate. The epoch
+   bump comes first so no hit can observe the new last-write stamp while
+   an entry from before the write still validates. Callers hold the
+   shard's gate (shared for singles/batches, exclusive for 2PC applies),
+   but writers under the shared gate may bump concurrently — hence
+   atomics, and a CAS-max for the published stamp. *)
+let bump t ~shard ~stamp =
+  let s = t.shards.(shard) in
+  (* The [Stale_cache] injected bug models a writer that forgets to
+     invalidate: the epoch bump is skipped, leaving the shard's cached
+     entries servable. The published last-write stamp still advances —
+     it is the freshness ground truth the TxSan hit check compares
+     against, which is exactly what makes the forgotten invalidation
+     detectable at the next hit. *)
+  if not (Dst.Inject.bug Dst.Inject.Stale_cache) then begin
+    Atomic.incr s.epoch;
+    Atomic.incr t.invalidations
+  end;
+  let rec max_loop () =
+    let cur = Atomic.get s.last_write in
+    if stamp > cur && not (Atomic.compare_and_set s.last_write cur stamp) then
+      max_loop ()
+  in
+  max_loop ()
+
+let stats t =
+  [
+    ("cache_hits", Atomic.get t.hits);
+    ("cache_misses", Atomic.get t.misses);
+    ("cache_invalidations", Atomic.get t.invalidations);
+  ]
+
+let hit_rate t =
+  let h = Atomic.get t.hits and m = Atomic.get t.misses in
+  if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m)

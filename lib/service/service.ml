@@ -8,9 +8,31 @@
    two-phase commit over per-shard transactions. The gates carry no data:
    they only exclude multis from overlapping the shards they span, so the
    per-shard TM stamps of a multi's sub-transactions are a valid global
-   serialization (DESIGN.md, decision 10). *)
+   serialization (DESIGN.md, decision 10).
+
+   Three optional layers ride in front of the router (DESIGN.md,
+   decision 13):
+
+   - a hot-key read cache ({!Hotcache}): single-key Gets are answered
+     from a per-shard versioned table when valid, skipping the gate and
+     the transaction entirely; every write path bumps the owning shard's
+     invalidation epoch while its gate is still held (a 2PC multi bumps
+     every touched shard before releasing any gate);
+   - per-shard worker pools ({!Pool}): {!submit} enqueues an operation
+     group on the owning shard's bounded queue and returns a ticket; the
+     shard's worker drains the queue head into one fused batch;
+   - SLO admission control: the pool's controller sheds low-priority
+     submissions with an [Overload] reply when the projected p99 lag
+     exceeds the configured SLO. *)
 
 open Harness
+
+(* The service library is wrapped behind this module; re-export the
+   front layers so benches and white-box tests can reach them. *)
+module Worker_pool = Pool
+module Hot_cache = Hotcache
+
+type priority = Pool.priority = High | Low
 
 type gate = { word : int Atomic.t; readers : int Atomic.t }
 (* [word] = 0 free, or owner thread id + 1 (exclusive). [readers] counts
@@ -77,36 +99,10 @@ type t = {
   fuse : bool;
   inflight : intent option array;  (* indexed by TM thread id *)
   c : counters;
+  cache : Hotcache.t option;
+  mutable pool : Pool.t option;
+      (* mutable only to tie the knot: the pool's exec closure needs [t] *)
 }
-
-let create ?shards ?fuse (spec : Factories.Spec.t) =
-  let n =
-    match shards with
-    | Some n -> n
-    | None -> Option.value spec.Factories.Spec.shards ~default:1
-  in
-  if n < 1 then invalid_arg "Service.create: shards must be >= 1";
-  let fuse =
-    match fuse with
-    | Some f -> f
-    | None -> Option.value spec.Factories.Spec.fuse ~default:true
-  in
-  let f = Factories.make spec in
-  {
-    label = Factories.Spec.label { spec with Factories.Spec.shards = Some n };
-    stores = Array.init n (fun _ -> f.Factories.make ());
-    gates = Array.init n (fun _ -> gate_make ());
-    fuse;
-    inflight = Array.make Tm.Thread.max_threads None;
-    c =
-      {
-        singles = Atomic.make 0;
-        batches = Atomic.make 0;
-        multis = Atomic.make 0;
-        multi_aborts = Atomic.make 0;
-        recovered = Atomic.make 0;
-      };
-  }
 
 let label t = t.label
 let shards t = Array.length t.stores
@@ -125,12 +121,150 @@ let with_shared t s f =
   enter_shared t.gates.(s);
   Fun.protect ~finally:(fun () -> exit_shared t.gates.(s)) f
 
+(* ---- hot-cache maintenance ---- *)
+
+(* A write committed at [stamp] against [shard]: invalidate the shard's
+   cache. Callers still hold the shard's gate. The [Stale_cache] injected
+   bug (handled inside {!Hotcache.bump}) skips the invalidation while
+   the published last-write stamp still advances — the TxSan freshness
+   rule catches the resulting stale hits. *)
+let bump_cache t ~shard ~stamp =
+  match t.cache with
+  | Some c -> Hotcache.bump c ~shard ~stamp
+  | None -> ()
+
+(* Post-batch cache maintenance, run while the shard's gate is held:
+   bump for every reply that mutated the shard, then populate from Get
+   replies under the pre-batch epoch (stillborn if any write — ours or a
+   concurrent one — has committed since [epoch0] was read). *)
+let cache_after_batch t ~shard ~epoch0 ops replies =
+  match t.cache with
+  | None -> ()
+  | Some cache ->
+      Array.iteri
+        (fun i (r : Store.reply) ->
+          match r.Store.outcome with
+          | Store.Inserted | Store.Removed ->
+              bump_cache t ~shard ~stamp:r.Store.stamp
+          | Store.Found | Store.Absent -> (
+              match ops.(i) with
+              | Store.Get k -> Hotcache.note cache ~shard ~epoch0 k r
+              | _ -> ())
+          | _ -> ())
+        replies
+
+(* The workhorse for same-shard operation groups: one [Store.batch] —
+   fused into a single transaction when the service fuses — under the
+   shard's shared gate, with cache maintenance before the gate drops.
+   Both the synchronous paths and the pool workers land here. *)
+let run_shard_ops t ~shard ~thread ops =
+  let epoch0 =
+    match t.cache with Some c -> Hotcache.epoch c ~shard | None -> 0
+  in
+  with_shared t shard (fun () ->
+      let replies = Store.batch ~fuse:t.fuse t.stores.(shard) ~thread ops in
+      cache_after_batch t ~shard ~epoch0 ops replies;
+      replies)
+
+(* ---- construction ---- *)
+
+let create ?shards ?fuse ?pool ?hotcache ?slo_us ?(pool_spawn = true)
+    (spec : Factories.Spec.t) =
+  let knob o spec_v default =
+    match o with Some v -> v | None -> Option.value spec_v ~default
+  in
+  let n = knob shards spec.Factories.Spec.shards 1 in
+  if n < 1 then invalid_arg "Service.create: shards must be >= 1";
+  let fuse = knob fuse spec.Factories.Spec.fuse true in
+  let pool_on = knob pool spec.Factories.Spec.pool false in
+  let cache_on = knob hotcache spec.Factories.Spec.hotcache false in
+  let slo_us =
+    match slo_us with Some _ -> slo_us | None -> spec.Factories.Spec.slo_us
+  in
+  if slo_us <> None && not pool_on then
+    invalid_arg "Service.create: slo_us requires pool";
+  let f = Factories.make spec in
+  let t =
+    {
+      label =
+        Factories.Spec.label
+          {
+            spec with
+            Factories.Spec.shards = Some n;
+            pool = (if pool_on then Some true else spec.Factories.Spec.pool);
+            hotcache =
+              (if cache_on then Some true else spec.Factories.Spec.hotcache);
+            slo_us;
+          };
+      stores = Array.init n (fun _ -> f.Factories.make ());
+      gates = Array.init n (fun _ -> gate_make ());
+      fuse;
+      inflight = Array.make Tm.Thread.max_threads None;
+      c =
+        {
+          singles = Atomic.make 0;
+          batches = Atomic.make 0;
+          multis = Atomic.make 0;
+          multi_aborts = Atomic.make 0;
+          recovered = Atomic.make 0;
+        };
+      cache = (if cache_on then Some (Hotcache.create ~shards:n ()) else None);
+      pool = None;
+    }
+  in
+  if pool_on then
+    t.pool <-
+      Some
+        (Pool.create
+           ?slo_ns:(Option.map (fun us -> us * 1_000) slo_us)
+           ~spawn:pool_spawn ~shards:n
+           ~exec:(fun ~shard ~thread ops -> run_shard_ops t ~shard ~thread ops)
+           ~finalize:(fun ~thread ->
+             Array.iter (fun st -> Store.finalize_thread st ~thread) t.stores)
+           ());
+  (match t.pool with
+  | Some p when Telemetry.enabled () ->
+      Telemetry.Gauges.register ~group:"service" ~name:"queue_depth" (fun () ->
+          List.map
+            (fun (k, v) -> (k, float_of_int v))
+            (Pool.counters p))
+  | _ -> ());
+  (match t.cache with
+  | Some c when Telemetry.enabled () ->
+      Telemetry.Gauges.register ~group:"service" ~name:"cache_hits" (fun () ->
+          ("hit_rate", Hotcache.hit_rate c)
+          :: List.map (fun (k, v) -> (k, float_of_int v)) (Hotcache.stats c))
+  | _ -> ());
+  t
+
 (* ---- single-key and same-shard traffic ---- *)
+
+let overload_reply = { Store.outcome = Store.Overload; earliest = 0; stamp = 0 }
 
 let exec_point t ~thread op =
   Atomic.incr t.c.singles;
   let s = shard_of_key t (Store.op_key op) in
-  with_shared t s (fun () -> Store.exec t.stores.(s) ~thread op)
+  match (op, t.cache) with
+  | Store.Get k, Some cache -> (
+      match Hotcache.find cache ~shard:s ~thread k with
+      | Some r -> r
+      | None ->
+          let epoch0 = Hotcache.epoch cache ~shard:s in
+          with_shared t s (fun () ->
+              let r = Store.exec t.stores.(s) ~thread op in
+              (match r.Store.outcome with
+              | Store.Found | Store.Absent ->
+                  Hotcache.note cache ~shard:s ~epoch0 k r
+              | _ -> ());
+              r))
+  | _ ->
+      with_shared t s (fun () ->
+          let r = Store.exec t.stores.(s) ~thread op in
+          (match r.Store.outcome with
+          | Store.Inserted | Store.Removed ->
+              bump_cache t ~shard:s ~stamp:r.Store.stamp
+          | _ -> ());
+          r)
 
 (* A scan's range spans shards under hash routing, so the service
    decomposes it into per-shard Get probes (each sub-batch under that
@@ -151,10 +285,7 @@ let exec_scan t ~thread ~low ~count =
     | [] -> ()
     | keys ->
         let ops = Array.of_list (List.map (fun k -> Store.Get k) keys) in
-        let replies =
-          with_shared t s (fun () ->
-              Store.batch ~fuse:t.fuse t.stores.(s) ~thread ops)
-        in
+        let replies = run_shard_ops t ~shard:s ~thread ops in
         Array.iteri
           (fun i r ->
             earliest := min !earliest r.Store.earliest;
@@ -202,10 +333,7 @@ let exec_batch t ~thread ops =
     | subs ->
         let idx = Array.of_list (List.map fst subs) in
         let sub_ops = Array.of_list (List.map snd subs) in
-        let rs =
-          with_shared t s (fun () ->
-              Store.batch ~fuse:t.fuse t.stores.(s) ~thread sub_ops)
-        in
+        let rs = run_shard_ops t ~shard:s ~thread sub_ops in
         Array.iteri (fun j r -> replies.(idx.(j)) <- r) rs
   done;
   Array.iteri
@@ -251,7 +379,10 @@ let rollback t ~thread intent =
     let s, _, state = intent.i_subs.(j) in
     match !state with
     | Applied (Some undo) ->
-        ignore (Store.exec t.stores.(s) ~thread undo);
+        let r = Store.exec t.stores.(s) ~thread undo in
+        (* the compensation is a write too: invalidate the shard's cache
+           before the gate drops *)
+        bump_cache t ~shard:s ~stamp:r.Store.stamp;
         state := Pending
     | Applied None -> state := Pending
     | Applying | Pending -> state := Pending
@@ -329,6 +460,10 @@ let multi t ~thread ops =
            if not (Store.positive r.Store.outcome) then
              failwith "Service.multi: apply contradicted prepare";
            replies.(i) <- r;
+           (* invalidate while this shard's exclusive gate (and every
+              other touched shard's) is still held: no cache hit can
+              observe a partially-visible multi *)
+           bump_cache t ~shard:s ~stamp:r.Store.stamp;
            state := Applied (undo_of op)
      done
    with
@@ -396,6 +531,96 @@ let recover t =
     t.inflight;
   !resolved
 
+(* ---- asynchronous submission ---- *)
+
+type ticket =
+  | Done of Store.reply array  (** answered synchronously (cache hit,
+                                   no pool, or cross-shard fallback) *)
+  | Queued of Pool.ticket
+  | Shed of int  (** rejected by admission control; op count *)
+
+(* The shard an operation group can be queued on: all ops must route to
+   one shard, and scans never queue (they span shards). *)
+let queueable_shard t ops =
+  let rec go i acc =
+    if i >= Array.length ops then acc
+    else
+      match ops.(i) with
+      | Store.Scan _ -> None
+      | op -> (
+          let s = shard_of_key t (Store.op_key op) in
+          match acc with
+          | Some s' when s' <> s -> None
+          | _ -> go (i + 1) (Some s))
+  in
+  go 0 None
+
+let submit t ~thread ?(priority = Pool.High) ops =
+  if Array.length ops = 0 then Done [||]
+  else begin
+    (* cache fast path: a lone Get answered without touching a queue, a
+       gate, or a transaction — this is where hot-key traffic wins *)
+    let hit =
+      match (ops, t.cache) with
+      | [| Store.Get k |], Some cache ->
+          Hotcache.find cache ~shard:(shard_of_key t k) ~thread k
+      | _ -> None
+    in
+    match hit with
+    | Some r ->
+        Atomic.incr t.c.singles;
+        Done [| r |]
+    | None -> (
+        match t.pool with
+        | None ->
+            Done
+              (if Array.length ops = 1 then [| exec t ~thread ops.(0) |]
+               else exec_batch t ~thread ops)
+        | Some p -> (
+            match queueable_shard t ops with
+            | None -> Done (exec_batch t ~thread ops)
+            | Some s -> (
+                (* the cache-miss Get enqueues; the worker's batch path
+                   populates the entry for the next hit *)
+                match Pool.submit p ~shard:s ~priority ops with
+                | `Ticket tk ->
+                    if Array.length ops = 1 then Atomic.incr t.c.singles
+                    else Atomic.incr t.c.batches;
+                    Queued tk
+                | `Shed -> Shed (Array.length ops))))
+  end
+
+let await _t = function
+  | Done rs -> rs
+  | Queued tk -> Pool.await tk
+  | Shed n -> Array.make n overload_reply
+
+let try_await _t = function
+  | Done rs -> Some rs
+  | Queued tk -> Pool.try_await tk
+  | Shed n -> Some (Array.make n overload_reply)
+
+(* One worker-loop body, for DST scenarios driving drains from logical
+   threads (the pool is created with [pool_spawn:false] there). *)
+let pool_step t ~shard ~thread =
+  match t.pool with None -> 0 | Some p -> Pool.step p ~shard ~thread
+
+let note_lag t ns = Option.iter (fun p -> Pool.note_lag p ns) t.pool
+
+let queue_depth t ~shard =
+  match t.pool with None -> 0 | Some p -> Pool.queue_depth p ~shard
+
+let queued t = match t.pool with None -> 0 | Some p -> Pool.depth p
+let pooled t = Option.is_some t.pool
+
+let overloaded t ~shard =
+  match t.pool with None -> false | Some p -> Pool.overloaded p ~shard
+
+let shutdown t = Option.iter Pool.shutdown t.pool
+
+let cache_hit_rate t =
+  match t.cache with None -> 0. | Some c -> Hotcache.hit_rate c
+
 (* ---- whole-service views ---- *)
 
 let counters t =
@@ -406,6 +631,8 @@ let counters t =
     ("multi_aborts", Atomic.get t.c.multi_aborts);
     ("recovered", Atomic.get t.c.recovered);
   ]
+  @ (match t.pool with Some p -> Pool.counters p | None -> [])
+  @ match t.cache with Some c -> Hotcache.stats c | None -> []
 
 let finalize_thread t ~thread =
   Array.iter (fun st -> Store.finalize_thread st ~thread) t.stores
@@ -453,6 +680,14 @@ let check t =
     if Array.exists Option.is_some t.inflight then
       Error "unresolved in-flight multi intent (recover not run?)"
     else Ok ()
+  in
+  let* () =
+    match t.pool with
+    | Some p when Pool.depth p > 0 ->
+        Error
+          (Printf.sprintf "%d requests still queued (shutdown not run?)"
+             (Pool.depth p))
+    | _ -> Ok ()
   in
   let* () =
     match

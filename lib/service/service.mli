@@ -19,16 +19,52 @@
     Because all shards share the TM's global commit clock, the stamps of
     a multi's sub-transactions order consistently against all other
     stamped operations, and the whole service history remains checkable
-    by {!Harness.Serial_check} (DESIGN.md, decision 10). *)
+    by {!Harness.Serial_check} (DESIGN.md, decision 10).
+
+    Three optional layers ride in front of the router (DESIGN.md,
+    decision 13): per-shard worker pools with bounded request queues and
+    an async {!submit}/{!await} path ({!Pool}), a versioned hot-key read
+    cache whose hits skip the gate and the transaction entirely
+    ({!Hotcache}), and SLO-driven admission control that sheds
+    low-priority submissions with {!Harness.Store_intf.Overload}
+    replies. *)
+
+(** The front layers, re-exported: the service library is wrapped behind
+    this module, so benches and white-box tests reach {!Pool} and
+    {!Hotcache} through these aliases. *)
+module Worker_pool : module type of struct
+  include Pool
+end
+
+module Hot_cache : module type of struct
+  include Hotcache
+end
+
+type priority = Pool.priority = High | Low
+(** Admission class of an async submission: [Low] is sheddable under an
+    SLO, [High] never sheds. *)
 
 type t
 
-val create : ?shards:int -> ?fuse:bool -> Harness.Factories.Spec.t -> t
+val create :
+  ?shards:int ->
+  ?fuse:bool ->
+  ?pool:bool ->
+  ?hotcache:bool ->
+  ?slo_us:int ->
+  ?pool_spawn:bool ->
+  Harness.Factories.Spec.t ->
+  t
 (** Build a service from a spec; one store per shard via
     {!Harness.Factories.make}. [shards] (default the spec's [shards]
-    knob, default 1) and [fuse] (default the spec's [fuse] knob, default
-    [true]) override the spec.
-    @raise Invalid_argument if the shard count is below 1. *)
+    knob, default 1), [fuse] (spec's [fuse], default [true]), [pool]
+    (spec's [pool], default off), [hotcache] (spec's [hotcache], default
+    off) and [slo_us] (spec's [slo_us], default none) override the spec.
+    [pool_spawn] (default [true]) controls whether worker domains start;
+    DST scenarios pass [false] and drive {!pool_step} from logical
+    threads instead.
+    @raise Invalid_argument if the shard count is below 1, or [slo_us]
+    is set without the pool. *)
 
 val label : t -> string
 val shards : t -> int
@@ -62,6 +98,64 @@ val multi : t -> thread:int -> Harness.Store.op array -> multi_result
     all checked before any write applies.
     @raise Invalid_argument on scans, or two writes to the same key. *)
 
+(** {1 Asynchronous submission}
+
+    With the worker pool on, {!submit} enqueues a same-shard operation
+    group on the owning shard's bounded queue and returns immediately;
+    the shard's worker drains the queue head into one fused transaction.
+    Without the pool (or for groups the queues cannot carry — scans,
+    cross-shard batches) {!submit} degrades to the synchronous paths and
+    returns an already-completed ticket, so callers are written once. *)
+
+type ticket =
+  | Done of Harness.Store.reply array
+      (** answered synchronously: cache hit, pool off, or cross-shard
+          fallback *)
+  | Queued of Pool.ticket  (** in a shard queue; redeem with {!await} *)
+  | Shed of int
+      (** rejected by admission control; {!await} yields that many
+          [Overload] replies *)
+
+val submit :
+  t -> thread:int -> ?priority:priority -> Harness.Store.op array -> ticket
+(** [priority] defaults to [High] (never shed). A lone cache-hit [Get]
+    completes inline without touching a queue, a gate, or a
+    transaction. *)
+
+val await : t -> ticket -> Harness.Store.reply array
+(** Redeem a ticket, blocking until the worker has run the group. *)
+
+val try_await : t -> ticket -> Harness.Store.reply array option
+(** Non-blocking poll. *)
+
+val pool_step : t -> shard:int -> thread:int -> int
+(** Drain one fused batch from [shard]'s queue (0 when idle or no pool).
+    The worker-loop body, exposed so DST scenarios created with
+    [pool_spawn:false] can run drains as scheduled logical threads. *)
+
+val note_lag : t -> int -> unit
+(** Report an observed open-loop schedule lag (ns) to the admission
+    controller. *)
+
+val queue_depth : t -> shard:int -> int
+val queued : t -> int
+
+val pooled : t -> bool
+(** Was this service created with the worker pool? Callers that want
+    every operation to flow through the queues (the soak churn driver)
+    switch on this rather than on the spec. *)
+
+val overloaded : t -> shard:int -> bool
+(** Would a [Low] submission for [shard] be shed right now? *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains (workers drain their queues, then
+    finalize their threads against every shard). Idempotent; a no-op
+    without the pool. Run before {!drain}/{!check} on pooled services. *)
+
+val cache_hit_rate : t -> float
+(** Hot-cache hit rate ([0.] without the cache). *)
+
 val recover : t -> int
 (** Resolve intents abandoned by dead threads: complete the undo of every
     applied sub-operation, disambiguate in-flight ones by probing the
@@ -74,7 +168,10 @@ val recover : t -> int
 (** {1 Whole-service views} *)
 
 val counters : t -> (string * int) list
-(** Router counters: singles, batches, multis, multi_aborts, recovered. *)
+(** Router counters (singles, batches, multis, multi_aborts, recovered)
+    plus, when the layers are on, the pool's queue/shed counters
+    ({!Pool.counters}) and the cache's hit/miss/invalidation counts
+    ({!Hotcache.stats}). *)
 
 val finalize_thread : t -> thread:int -> unit
 val drain : t -> unit

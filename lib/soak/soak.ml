@@ -248,6 +248,20 @@ let run_churn ?service ?(verify = true) ?(slo_us = 1000) ~seed ~key_bits
   San.set_enabled ~mode:San.Count true;
   let repro_line = repro ~scenario:"churn" ~seed ~key_bits ~phases spec in
   let live () = Option.value (Store.pool_live store) ~default:0 in
+  (* With the worker pool on, every churn op flows through the async
+     path — bounded queue, fused drain, hot cache — instead of the
+     synchronous gate, so the soak exercises the same machinery the
+     service load bench measures. submit's default High priority is
+     deliberate: a shed would answer [Overload] with no stamp and the
+     serial check has nothing to linearize. *)
+  let pooled_svc =
+    match svc with Some s when Service.pooled s -> Some s | _ -> None
+  in
+  let exec_op ~thread op =
+    match pooled_svc with
+    | Some s -> (Service.await s (Service.submit s ~thread [| op |])).(0)
+    | None -> Store.exec store ~thread op
+  in
   let live_empty = live () in
   let tid = Tm.Thread.id () in
   let range = 1 lsl key_bits in
@@ -271,7 +285,7 @@ let run_churn ?service ?(verify = true) ?(slo_us = 1000) ~seed ~key_bits
           Array.iteri
             (fun i op ->
               let t_op = Telemetry.now_ns () in
-              let reply = Store.exec store ~thread:wtid op in
+              let reply = exec_op ~thread:wtid op in
               if Telemetry.now_ns () - t_op > slo_ns then Atomic.incr slo;
               if do_verify then log.(i) <- log_entry op reply;
               if i land 15 = 0 then begin
@@ -313,6 +327,16 @@ let run_churn ?service ?(verify = true) ?(slo_us = 1000) ~seed ~key_bits
     }
   in
   let phase_results = List.mapi run_phase phases in
+  (* Workers exit before the pool is held to account: shutdown joins the
+     drain domains and runs their thread finalizers (flushing
+     magazine-cached slots), and the extra drain returns whatever those
+     finalizers released. Without it the leak oracle would blame the
+     parked workers' magazines. No-op for unpooled services. *)
+  Option.iter
+    (fun s ->
+      Service.shutdown s;
+      Service.drain s)
+    svc;
   let san = San.violations () in
   San.set_enabled false;
   let serial =

@@ -543,6 +543,651 @@ let test_serial_oracle () =
     checkb "completed" false o.Dst.Sched.hung
   done
 
+(* ---------------------------------------------------------------- *)
+(* Spec knobs for the front layers                                   *)
+(* ---------------------------------------------------------------- *)
+
+let layered_spec ?pool ?hotcache ?slo_us ?(shards = 2) () =
+  Factories.Spec.v ~window:4 ~scatter:false ~shards ~fuse:true ?pool ?hotcache
+    ?slo_us Factories.Spec.Slist
+    (Structs.Mode.Rr_kind (module Rr.V))
+
+let contains_sub s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let test_spec_layer_knobs () =
+  let s = layered_spec ~pool:true ~hotcache:true ~slo_us:5000 () in
+  let l = Factories.Spec.label s in
+  checkb "+pool in the label" true (contains_sub l "+pool");
+  checkb "+hotcache in the label" true (contains_sub l "+hotcache");
+  checkb "+slo in the label" true (contains_sub l "+slo5000");
+  checkb "knobs precede the shard suffix" true
+    (String.length l > 3 && String.sub l (String.length l - 3) 3 = "/x2");
+  (match Factories.Spec.of_json (Factories.Spec.to_json s) with
+  | Error e -> Alcotest.failf "of_json rejected layered to_json: %s" e
+  | Ok s' ->
+      checkb "layered round trip is lossless" true
+        (Telemetry.Json.equal (Factories.Spec.to_json s)
+           (Factories.Spec.to_json s')));
+  checkb "slo without pool rejected" true
+    (match layered_spec ~slo_us:5000 () with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  checkb "slo_us = 0 rejected" true
+    (match layered_spec ~pool:true ~slo_us:0 () with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  checkb "create rejects slo without pool too" true
+    (match Service.create ~slo_us:5000 (spec ()) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ---------------------------------------------------------------- *)
+(* Worker pool: deterministic spawnless driving                      *)
+(* ---------------------------------------------------------------- *)
+
+(* [pool_spawn:false] starts no worker domains: the test drives drains
+   through [pool_step], so enqueue/execute interleavings are explicit. *)
+let pooled_svc ?slo_us ?hotcache () =
+  Dst.Inject.clear ();
+  Tm.Thread.reset_ids_for_testing ();
+  Service.create ~shards:2 ~pool:true ~pool_spawn:false ?slo_us ?hotcache
+    (spec ~shards:2 ())
+
+let test_pool_async_spawnless () =
+  let svc = pooled_svc () in
+  with_thread @@ fun ~thread ->
+  let k1 = key_in_shard svc ~shard:0 ~avoid:[] in
+  let t1 = Service.submit svc ~thread [| Store.Insert k1 |] in
+  (match t1 with
+  | Service.Queued _ -> ()
+  | _ -> Alcotest.fail "same-shard group should ride the queue");
+  check "queued" 1 (Service.queued svc);
+  check "per-shard depth" 1 (Service.queue_depth svc ~shard:0);
+  checkb "not yet executed" true (Service.try_await svc t1 = None);
+  checkb "check flags the backlog" true (Result.is_error (Service.check svc));
+  check "one step drains it" 1 (Service.pool_step svc ~shard:0 ~thread);
+  (match Service.try_await svc t1 with
+  | Some rs ->
+      checkb "insert applied" true (rs.(0).Store.outcome = Store.Inserted)
+  | None -> Alcotest.fail "completion cell not filled");
+  checkb "await after completion" true
+    ((Service.await svc t1).(0).Store.outcome = Store.Inserted);
+  (* cross-shard groups and scans degrade to the synchronous paths *)
+  let k2 = key_in_shard svc ~shard:1 ~avoid:[ k1 ] in
+  (match Service.submit svc ~thread [| Store.Get k1; Store.Insert k2 |] with
+  | Service.Done rs ->
+      checkb "sync fallback in order" true
+        (Array.map (fun r -> r.Store.outcome) rs
+        = [| Store.Found; Store.Inserted |])
+  | _ -> Alcotest.fail "cross-shard group should complete synchronously");
+  (match Service.submit svc ~thread [| Store.Scan { low = 1; count = 8 } |] with
+  | Service.Done _ -> ()
+  | _ -> Alcotest.fail "scan should complete synchronously");
+  check "empty after drain" 0 (Service.queued svc);
+  Service.shutdown svc;
+  (match Service.check svc with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "check: %s" e);
+  Service.finalize_thread svc ~thread;
+  Service.drain svc
+
+let test_pool_fused_drain () =
+  let svc = pooled_svc () in
+  with_thread @@ fun ~thread ->
+  let k1 = key_in_shard svc ~shard:0 ~avoid:[] in
+  let k2 = key_in_shard svc ~shard:0 ~avoid:[ k1 ] in
+  let k3 = key_in_shard svc ~shard:0 ~avoid:[ k1; k2 ] in
+  let ts =
+    List.map
+      (fun k -> Service.submit svc ~thread [| Store.Insert k |])
+      [ k1; k2; k3 ]
+  in
+  check "three queued" 3 (Service.queued svc);
+  check "one step drains all three" 3 (Service.pool_step svc ~shard:0 ~thread);
+  let rs = List.map (fun t -> (Service.await svc t).(0)) ts in
+  List.iter
+    (fun (r : Store.reply) ->
+      checkb "inserted" true (r.Store.outcome = Store.Inserted))
+    rs;
+  (match rs with
+  | a :: rest ->
+      List.iter
+        (fun (r : Store.reply) ->
+          check "one stamp for the fused drain" a.Store.stamp r.Store.stamp)
+        rest
+  | [] -> assert false);
+  let c = Service.counters svc in
+  check "drained_requests" 3 (List.assoc "drained_requests" c);
+  check "drained_batches" 1 (List.assoc "drained_batches" c);
+  Service.shutdown svc;
+  Service.finalize_thread svc ~thread;
+  Service.drain svc
+
+let test_pool_admission_sheds () =
+  let svc = pooled_svc ~slo_us:1_000 () in
+  with_thread @@ fun ~thread ->
+  let k0 = key_in_shard svc ~shard:0 ~avoid:[] in
+  checkb "not overloaded at rest" true (not (Service.overloaded svc ~shard:0));
+  (* Low rides the queue while the controller is calm *)
+  let t0 = Service.submit svc ~thread ~priority:Service.Low [| Store.Insert k0 |] in
+  (match t0 with
+  | Service.Queued _ -> ()
+  | _ -> Alcotest.fail "low must be admitted at rest");
+  check "drained" 1 (Service.pool_step svc ~shard:0 ~thread);
+  checkb "low executed" true
+    ((Service.await svc t0).(0).Store.outcome = Store.Inserted);
+  (* an open-loop lag burst pushes the EWMA past the SLO budget *)
+  Service.note_lag svc 8_000_000;
+  checkb "overloaded after the lag burst" true (Service.overloaded svc ~shard:0);
+  let t1 =
+    Service.submit svc ~thread ~priority:Service.Low
+      [| Store.Get k0; Store.Get k0 |]
+  in
+  (match t1 with
+  | Service.Shed n -> check "shed covers the whole group" 2 n
+  | _ -> Alcotest.fail "low must shed under overload");
+  let rs = Service.await svc t1 in
+  check "overload replies for every op" 2 (Array.length rs);
+  Array.iter
+    (fun (r : Store.reply) ->
+      checkb "overload outcome" true (r.Store.outcome = Store.Overload);
+      checkb "overload is not positive" true
+        (not (Store.positive r.Store.outcome)))
+    rs;
+  (* High is never shed, only counted as deferred *)
+  (match Service.submit svc ~thread ~priority:Service.High [| Store.Get k0 |] with
+  | Service.Queued _ -> ()
+  | _ -> Alcotest.fail "high must be admitted under overload");
+  check "drain the deferred high" 1 (Service.pool_step svc ~shard:0 ~thread);
+  let c = Service.counters svc in
+  checkb "shed_low counted" true (List.assoc "shed_low" c >= 1);
+  check "no high sheds ever" 0 (List.assoc "shed_high" c);
+  checkb "deferred high counted" true (List.assoc "deferred_high" c >= 1);
+  Service.shutdown svc;
+  Service.finalize_thread svc ~thread;
+  Service.drain svc
+
+(* Real worker domains: a pipelined client against the model, then
+   zero-leak accounting through the workers' thread finalizers. *)
+let test_pool_workers_end_to_end () =
+  Dst.Inject.clear ();
+  Tm.Thread.reset_ids_for_testing ();
+  let svc = Service.create ~shards:2 ~pool:true (spec ~shards:2 ()) in
+  with_thread @@ fun ~thread ->
+  let model = Hashtbl.create 64 in
+  let mismatches = ref 0 in
+  for i = 1 to 300 do
+    let k = 1 + ((i * 37) mod 48) in
+    let op =
+      match i mod 3 with
+      | 0 -> Store.Insert k
+      | 1 -> Store.Remove k
+      | _ -> Store.Get k
+    in
+    let t = Service.submit svc ~thread [| op |] in
+    let r = (Service.await svc t).(0) in
+    let expected =
+      match op with
+      | Store.Insert _ ->
+          let e = not (Hashtbl.mem model k) in
+          if e then Hashtbl.replace model k ();
+          e
+      | Store.Remove _ ->
+          let e = Hashtbl.mem model k in
+          if e then Hashtbl.remove model k;
+          e
+      | Store.Get _ -> Hashtbl.mem model k
+      | Store.Scan _ -> assert false
+    in
+    if Store.positive r.Store.outcome <> expected then incr mismatches
+  done;
+  check "every awaited reply matches the model" 0 !mismatches;
+  Service.shutdown svc;
+  (match Service.check svc with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "after shutdown: %s" e);
+  check "workers drained every request" 300
+    (List.assoc "drained_requests" (Service.counters svc));
+  Service.finalize_thread svc ~thread;
+  Service.drain svc;
+  checkb "final contents match the model" true
+    (Service.contents svc
+    = List.sort compare (Hashtbl.fold (fun k () a -> k :: a) model []));
+  match Service.pool_live svc with
+  | Some live ->
+      check "zero leak through worker finalizers" (Hashtbl.length model) live
+  | None -> Alcotest.fail "expected pool accounting"
+
+(* ---------------------------------------------------------------- *)
+(* Hot-key read cache                                                *)
+(* ---------------------------------------------------------------- *)
+
+let test_hotcache_unit () =
+  let module H = Service.Hot_cache in
+  Dst.Inject.clear ();
+  let hc = H.create ~capacity:16 ~shards:2 () in
+  let reply o = { Store.outcome = o; earliest = 7; stamp = 9 } in
+  checkb "cold miss" true (H.find hc ~shard:0 ~thread:0 5 = None);
+  let e0 = H.epoch hc ~shard:0 in
+  H.note hc ~shard:0 ~epoch0:e0 5 (reply Store.Found);
+  (match H.find hc ~shard:0 ~thread:0 5 with
+  | Some r ->
+      checkb "hit replays the reply" true
+        (r.Store.outcome = Store.Found && r.Store.stamp = 9
+       && r.Store.earliest = 7)
+  | None -> Alcotest.fail "expected a hit");
+  (* a writer bump invalidates the whole shard *)
+  H.bump hc ~shard:0 ~stamp:12;
+  checkb "invalidated after bump" true (H.find hc ~shard:0 ~thread:0 5 = None);
+  (* stillborn populate: an epoch sampled before a write never serves *)
+  let e1 = H.epoch hc ~shard:0 in
+  H.bump hc ~shard:0 ~stamp:15;
+  H.note hc ~shard:0 ~epoch0:e1 5 (reply Store.Absent);
+  checkb "stale populate never serves" true
+    (H.find hc ~shard:0 ~thread:0 5 = None);
+  (* only lookup replies populate *)
+  H.note hc ~shard:1 ~epoch0:(H.epoch hc ~shard:1) 3 (reply Store.Inserted);
+  checkb "writes are not cached" true (H.find hc ~shard:1 ~thread:0 3 = None);
+  (* shard-0 bumps do not touch shard 1 *)
+  H.note hc ~shard:1 ~epoch0:(H.epoch hc ~shard:1) 3 (reply Store.Found);
+  checkb "per-shard isolation" true (H.find hc ~shard:1 ~thread:0 3 <> None);
+  let stats = H.stats hc in
+  check "invalidations counted" 2 (List.assoc "cache_invalidations" stats);
+  check "hits counted" 2 (List.assoc "cache_hits" stats);
+  check "misses counted" 4 (List.assoc "cache_misses" stats);
+  checkb "hit rate" true (abs_float (H.hit_rate hc -. (2. /. 6.)) < 1e-9)
+
+let test_service_cache_hits () =
+  Dst.Inject.clear ();
+  Tm.Thread.reset_ids_for_testing ();
+  let svc = Service.create ~shards:2 ~hotcache:true (spec ~shards:2 ()) in
+  with_thread @@ fun ~thread ->
+  let k = key_in_shard svc ~shard:0 ~avoid:[] in
+  ignore (Service.exec svc ~thread (Store.Insert k));
+  checkb "first get misses and populates" true
+    ((Service.exec svc ~thread (Store.Get k)).Store.outcome = Store.Found);
+  checkb "second get hits" true
+    ((Service.exec svc ~thread (Store.Get k)).Store.outcome = Store.Found);
+  check "one hit" 1 (List.assoc "cache_hits" (Service.counters svc));
+  checkb "hit rate positive" true (Service.cache_hit_rate svc > 0.);
+  (* any same-shard write invalidates the cached entry *)
+  let k2 = key_in_shard svc ~shard:0 ~avoid:[ k ] in
+  ignore (Service.exec svc ~thread (Store.Insert k2));
+  checkb "invalidated entry re-misses" true
+    ((Service.exec svc ~thread (Store.Get k)).Store.outcome = Store.Found);
+  check "still one hit" 1 (List.assoc "cache_hits" (Service.counters svc));
+  checkb "invalidations counted" true
+    (List.assoc "cache_invalidations" (Service.counters svc) >= 1);
+  (* a lone cached Get completes inline through submit, pool or not *)
+  (match Service.submit svc ~thread [| Store.Get k |] with
+  | Service.Done rs ->
+      checkb "inline cache hit" true (rs.(0).Store.outcome = Store.Found)
+  | _ -> Alcotest.fail "expected an inline completion");
+  check "two hits" 2 (List.assoc "cache_hits" (Service.counters svc));
+  Service.finalize_thread svc ~thread;
+  Service.drain svc
+
+(* Satellite: a cross-shard multi must invalidate the caches of every
+   shard it writes before either exclusive gate is released — no lookup
+   after the 2PC can be served from a pre-multi entry. TxSan's freshness
+   rule is armed for the whole test. *)
+let test_2pc_invalidates_both_shards () =
+  Dst.Inject.clear ();
+  Tm.Thread.reset_ids_for_testing ();
+  San.reset ();
+  San.set_enabled ~mode:San.Raise true;
+  Fun.protect ~finally:(fun () ->
+      San.set_enabled false;
+      San.reset ())
+  @@ fun () ->
+  let svc = Service.create ~shards:2 ~hotcache:true (spec ~shards:2 ()) in
+  with_thread @@ fun ~thread ->
+  let a = key_in_shard svc ~shard:0 ~avoid:[] in
+  let b = key_in_shard svc ~shard:1 ~avoid:[ a ] in
+  ignore (Service.exec svc ~thread (Store.Insert b));
+  (* warm both shards' caches and confirm they serve *)
+  checkb "a absent" true
+    ((Service.exec svc ~thread (Store.Get a)).Store.outcome = Store.Absent);
+  checkb "b found" true
+    ((Service.exec svc ~thread (Store.Get b)).Store.outcome = Store.Found);
+  checkb "a hit" true
+    ((Service.exec svc ~thread (Store.Get a)).Store.outcome = Store.Absent);
+  checkb "b hit" true
+    ((Service.exec svc ~thread (Store.Get b)).Store.outcome = Store.Found);
+  check "both shards serving" 2 (List.assoc "cache_hits" (Service.counters svc));
+  let inv0 = List.assoc "cache_invalidations" (Service.counters svc) in
+  (match Service.multi svc ~thread [| Store.Insert a; Store.Remove b |] with
+  | Service.Committed _ -> ()
+  | Service.Aborted i -> Alcotest.failf "unexpected abort at %d" i);
+  checkb "both shards invalidated" true
+    (List.assoc "cache_invalidations" (Service.counters svc) >= inv0 + 2);
+  (* post-2PC lookups see the multi's effects, not the dead entries *)
+  checkb "a now found" true
+    ((Service.exec svc ~thread (Store.Get a)).Store.outcome = Store.Found);
+  checkb "b now absent" true
+    ((Service.exec svc ~thread (Store.Get b)).Store.outcome = Store.Absent);
+  check "no stale hit served" 2 (List.assoc "cache_hits" (Service.counters svc));
+  check "no freshness violation" 0 (San.total_violations ());
+  Service.finalize_thread svc ~thread;
+  Service.drain svc
+
+(* The [Stale_cache] injected bug: the writer commits but skips the
+   invalidation. The entry stays servable, and the TxSan freshness rule
+   must name the stale hit at the faulting access. Injected bugs are
+   only live inside a DST run, so the deterministic sequence runs as a
+   solo logical thread. *)
+let test_stale_cache_bug_caught () =
+  Dst.Inject.clear ();
+  Tm.Thread.reset_ids_for_testing ();
+  San.reset ();
+  San.set_enabled ~mode:San.Raise true;
+  Fun.protect ~finally:(fun () ->
+      San.set_enabled false;
+      San.reset ();
+      Dst.Inject.clear ())
+  @@ fun () ->
+  let svc = Service.create ~shards:2 ~hotcache:true (spec ~shards:2 ()) in
+  Dst.Inject.set_bug Dst.Inject.Stale_cache true;
+  let body () =
+    with_thread (fun ~thread ->
+        let k = key_in_shard svc ~shard:0 ~avoid:[] in
+        if (Service.exec svc ~thread (Store.Get k)).Store.outcome <> Store.Absent
+        then failwith "expected an absent populate";
+        ignore (Service.exec svc ~thread (Store.Insert k));
+        ignore (Service.exec svc ~thread (Store.Get k));
+        failwith "stale hit served without a report")
+  in
+  let o = Dst.Sched.run (Dst.Sched.Random 1) [ body ] in
+  match o.Dst.Sched.failure with
+  | Some (Dst.Sched.Thread_raised { exn = San.Violation r; _ }) ->
+      checkb "rule is stale-cache-hit" true (r.San.rule = San.Stale_cache_hit)
+  | Some f ->
+      Alcotest.failf "unexpected failure: %s"
+        (Format.asprintf "%a" Dst.Sched.pp_failure f)
+  | None -> Alcotest.fail "stale hit served without a report"
+
+(* qcheck: a cached service driven through a random op sequence (singles
+   and cross-shard multis) agrees with the sequential set model — cached
+   lookups included. *)
+let qcheck_cached_matches_model =
+  let open QCheck in
+  let gen =
+    Gen.(
+      let key = map (fun k -> k + 1) (int_bound 23) in
+      list_size (int_bound 80)
+        (frequency
+           [
+             (3, map (fun k -> `I k) key);
+             (3, map (fun k -> `R k) key);
+             (6, map (fun k -> `L k) key);
+             (1, map (fun k -> `M (k, k + 1)) key);
+           ]))
+  in
+  let print ops =
+    String.concat ";"
+      (List.map
+         (function
+           | `I k -> Printf.sprintf "I%d" k
+           | `R k -> Printf.sprintf "R%d" k
+           | `L k -> Printf.sprintf "L%d" k
+           | `M (a, b) -> Printf.sprintf "M%d-%d" a b)
+         ops)
+  in
+  Test.make ~name:"hotcache: cached lookups match the sequential model"
+    ~count:50 (make ~print gen)
+    (fun ops ->
+      let svc = Service.create ~shards:2 ~hotcache:true (spec ~shards:2 ()) in
+      Tm.Thread.with_registered (fun thread ->
+          let model = Hashtbl.create 32 in
+          let ok =
+            List.for_all
+              (function
+                | `I k ->
+                    let e = not (Hashtbl.mem model k) in
+                    if e then Hashtbl.replace model k ();
+                    Store.positive
+                      (Service.exec svc ~thread (Store.Insert k)).Store.outcome
+                    = e
+                | `R k ->
+                    let e = Hashtbl.mem model k in
+                    if e then Hashtbl.remove model k;
+                    Store.positive
+                      (Service.exec svc ~thread (Store.Remove k)).Store.outcome
+                    = e
+                | `L k ->
+                    Store.positive
+                      (Service.exec svc ~thread (Store.Get k)).Store.outcome
+                    = Hashtbl.mem model k
+                | `M (a, b) -> (
+                    let pa = not (Hashtbl.mem model a)
+                    and pb = Hashtbl.mem model b in
+                    match
+                      Service.multi svc ~thread
+                        [| Store.Insert a; Store.Remove b |]
+                    with
+                    | Service.Committed _ ->
+                        if pa && pb then (
+                          Hashtbl.replace model a ();
+                          Hashtbl.remove model b;
+                          true)
+                        else false
+                    | Service.Aborted _ -> not (pa && pb)))
+              ops
+          in
+          Service.finalize_thread svc ~thread;
+          Service.drain svc;
+          ok
+          && Service.contents svc
+             = List.sort compare (Hashtbl.fold (fun k () a -> k :: a) model [])
+          && Service.check svc = Ok ()))
+
+(* ---------------------------------------------------------------- *)
+(* DST: queue drains vs submissions, and vs 2PC gates                *)
+(* ---------------------------------------------------------------- *)
+
+(* A producer submits through the queues and awaits through the
+   scheduler while a drainer thread runs [pool_step]: every ticket must
+   complete with the right outcome regardless of the interleaving. *)
+let pool_drain_case () =
+  Dst.Inject.clear ();
+  Tm.Thread.reset_ids_for_testing ();
+  let svc =
+    Service.create ~shards:2 ~pool:true ~pool_spawn:false (spec ~shards:2 ())
+  in
+  let producer_done = ref false in
+  let bad = ref 0 in
+  let producer () =
+    with_thread (fun ~thread ->
+        let ts =
+          List.map
+            (fun k -> Service.submit svc ~thread [| Store.Insert k |])
+            [ 1; 2; 3; 4; 5; 6 ]
+        in
+        List.iter
+          (fun t ->
+            if (Service.await svc t).(0).Store.outcome <> Store.Inserted then
+              incr bad)
+          ts;
+        producer_done := true)
+  in
+  let drainer () =
+    with_thread (fun ~thread ->
+        while (not !producer_done) || Service.queued svc > 0 do
+          ignore (Service.pool_step svc ~shard:0 ~thread);
+          ignore (Service.pool_step svc ~shard:1 ~thread);
+          Dst.point Dst.Svc_drain
+        done)
+  in
+  {
+    Dst.Explore.init = None;
+    threads = [ producer; drainer ];
+    check =
+      (fun () ->
+        if !bad > 0 then failwith "a queued insert lost its effect";
+        (match Service.check svc with
+        | Ok () -> ()
+        | Error e -> failwith e);
+        if Service.contents svc <> [ 1; 2; 3; 4; 5; 6 ] then
+          failwith "drained contents are wrong");
+  }
+
+let test_dst_pool_drain () =
+  for seed = 1 to 10 do
+    let c = pool_drain_case () in
+    let o =
+      Dst.Sched.run ?init:c.Dst.Explore.init ~check:c.Dst.Explore.check
+        (Dst.Sched.Random seed) c.Dst.Explore.threads
+    in
+    if Dst.Sched.failed o then
+      Alcotest.failf "seed %d: %s" seed
+        (match o.Dst.Sched.failure with
+        | Some f -> Format.asprintf "%a" Dst.Sched.pp_failure f
+        | None -> "?");
+    checkb "completed" false o.Dst.Sched.hung
+  done
+
+(* Queue drains (shared gates) racing a cross-shard 2PC (exclusive
+   gates): whatever order the scheduler picks, the history must land on
+   one of the two serializable outcomes, never a torn mix. *)
+let pool_2pc_case () =
+  Dst.Inject.clear ();
+  Tm.Thread.reset_ids_for_testing ();
+  let svc =
+    Service.create ~shards:2 ~pool:true ~pool_spawn:false ~hotcache:true
+      (spec ~shards:2 ())
+  in
+  let a = key_in_shard svc ~shard:0 ~avoid:[] in
+  let b = key_in_shard svc ~shard:1 ~avoid:[ a ] in
+  let done_ = Array.make 2 false in
+  let submitter () =
+    with_thread (fun ~thread ->
+        let t1 = Service.submit svc ~thread [| Store.Insert a |] in
+        if not (Store.positive (Service.await svc t1).(0).Store.outcome) then
+          failwith "insert of a fresh key failed";
+        let t2 = Service.submit svc ~thread [| Store.Get a |] in
+        ignore (Service.await svc t2);
+        done_.(0) <- true)
+  in
+  let multi_thread () =
+    with_thread (fun ~thread ->
+        (match Service.multi svc ~thread [| Store.Remove a; Store.Insert b |] with
+        | Service.Committed _ | Service.Aborted _ -> ());
+        done_.(1) <- true)
+  in
+  let drainer () =
+    with_thread (fun ~thread ->
+        while (not (done_.(0) && done_.(1))) || Service.queued svc > 0 do
+          ignore (Service.pool_step svc ~shard:0 ~thread);
+          ignore (Service.pool_step svc ~shard:1 ~thread);
+          Dst.point Dst.Svc_drain
+        done)
+  in
+  {
+    Dst.Explore.init = None;
+    threads = [ submitter; multi_thread; drainer ];
+    check =
+      (fun () ->
+        (match Service.check svc with
+        | Ok () -> ()
+        | Error e -> failwith e);
+        (* multi-first: it aborts (a absent), insert lands -> [a];
+           insert-first: the multi commits -> [b] *)
+        let c = Service.contents svc in
+        if c <> [ a ] && c <> [ b ] then
+          failwith "contents are not a serializable outcome of the race");
+  }
+
+let test_dst_pool_vs_2pc () =
+  for seed = 1 to 10 do
+    let c = pool_2pc_case () in
+    let o =
+      Dst.Sched.run ?init:c.Dst.Explore.init ~check:c.Dst.Explore.check
+        (Dst.Sched.Random seed) c.Dst.Explore.threads
+    in
+    if Dst.Sched.failed o then
+      Alcotest.failf "seed %d: %s" seed
+        (match o.Dst.Sched.failure with
+        | Some f -> Format.asprintf "%a" Dst.Sched.pp_failure f
+        | None -> "?");
+    checkb "completed" false o.Dst.Sched.hung
+  done
+
+(* Reader populating and hitting the cache while a writer churns the
+   same shard: production code must stay violation-free under every
+   schedule; with the [Stale_cache] bug armed, some schedule serves a
+   stale hit and the armed sanitizer reports it. *)
+let cache_race_case ~bug () =
+  Dst.Inject.clear ();
+  Tm.Thread.reset_ids_for_testing ();
+  San.reset ();
+  if bug then Dst.Inject.set_bug Dst.Inject.Stale_cache true;
+  let svc = Service.create ~shards:1 ~hotcache:true (spec ~shards:1 ()) in
+  let reader () =
+    with_thread (fun ~thread ->
+        for _ = 1 to 6 do
+          ignore (Service.exec svc ~thread (Store.Get 5))
+        done)
+  in
+  let writer () =
+    with_thread (fun ~thread ->
+        ignore (Service.exec svc ~thread (Store.Insert 5));
+        ignore (Service.exec svc ~thread (Store.Remove 5)))
+  in
+  {
+    Dst.Explore.init = None;
+    threads = [ reader; writer ];
+    check =
+      (fun () ->
+        match Service.check svc with Ok () -> () | Error e -> failwith e);
+  }
+
+let run_cache_race ~bug seed =
+  let c = cache_race_case ~bug () in
+  Dst.Sched.run ?init:c.Dst.Explore.init ~check:c.Dst.Explore.check
+    (Dst.Sched.Random seed) c.Dst.Explore.threads
+
+let test_dst_cache_race_clean () =
+  San.set_enabled ~mode:San.Raise true;
+  Fun.protect ~finally:(fun () ->
+      San.set_enabled false;
+      San.reset ();
+      Dst.Inject.clear ())
+  @@ fun () ->
+  for seed = 1 to 10 do
+    let o = run_cache_race ~bug:false seed in
+    if Dst.Sched.failed o then
+      Alcotest.failf "seed %d: %s" seed
+        (match o.Dst.Sched.failure with
+        | Some f -> Format.asprintf "%a" Dst.Sched.pp_failure f
+        | None -> "?")
+  done;
+  check "no violations across schedules" 0 (San.total_violations ())
+
+let test_dst_cache_race_bug_caught () =
+  San.set_enabled ~mode:San.Raise true;
+  Fun.protect ~finally:(fun () ->
+      San.set_enabled false;
+      San.reset ();
+      Dst.Inject.clear ())
+  @@ fun () ->
+  let caught = ref false in
+  for seed = 1 to 10 do
+    if not !caught then
+      let o = run_cache_race ~bug:true seed in
+      match o.Dst.Sched.failure with
+      | Some (Dst.Sched.Thread_raised { exn = San.Violation r; _ }) ->
+          checkb "rule is stale-cache-hit" true
+            (r.San.rule = San.Stale_cache_hit);
+          caught := true
+      | Some _ | None -> ()
+  done;
+  checkb "some schedule served the stale hit" true !caught
+
 let () =
   Alcotest.run "service"
     [
@@ -559,6 +1204,28 @@ let () =
             test_spec_json_label_checked;
           Alcotest.test_case "sharding suffix" `Quick
             test_spec_label_sharding_suffix;
+          Alcotest.test_case "front-layer knobs" `Quick test_spec_layer_knobs;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "async submit, spawnless" `Quick
+            test_pool_async_spawnless;
+          Alcotest.test_case "fused drain" `Quick test_pool_fused_drain;
+          Alcotest.test_case "admission sheds low" `Quick
+            test_pool_admission_sheds;
+          Alcotest.test_case "worker domains end to end" `Quick
+            test_pool_workers_end_to_end;
+        ] );
+      ( "hotcache",
+        [
+          Alcotest.test_case "unit semantics" `Quick test_hotcache_unit;
+          Alcotest.test_case "service hits and invalidation" `Quick
+            test_service_cache_hits;
+          Alcotest.test_case "2pc invalidates both shards" `Quick
+            test_2pc_invalidates_both_shards;
+          Alcotest.test_case "stale-cache bug caught" `Quick
+            test_stale_cache_bug_caught;
+          QCheck_alcotest.to_alcotest qcheck_cached_matches_model;
         ] );
       ( "traffic",
         [
@@ -595,5 +1262,13 @@ let () =
             test_kill_mid_apply_mag_recovers;
           Alcotest.test_case "serializability oracle" `Quick
             test_serial_oracle;
+          Alcotest.test_case "queue drains vs submissions" `Quick
+            test_dst_pool_drain;
+          Alcotest.test_case "queue drains vs 2pc gates" `Quick
+            test_dst_pool_vs_2pc;
+          Alcotest.test_case "cache race is clean" `Quick
+            test_dst_cache_race_clean;
+          Alcotest.test_case "cache race bug caught" `Quick
+            test_dst_cache_race_bug_caught;
         ] );
     ]
