@@ -20,15 +20,23 @@
                        and poisoning.
 
    Pure parsetree analysis (compiler-libs, no typing): rules are
-   deliberately conservative so the clean tree reports nothing.
+   deliberately conservative so the clean tree reports nothing. Local
+   module aliases ([module H = Hoh]) are resolved within the file so an
+   alias cannot smuggle an unlabeled entry point past the check.
 
-   Usage: hohtx_lint [--expect-violations N] FILE.ml...
+   Usage: hohtx_lint [--expect-violations N] [--json] FILE.ml...
    Exit status 1 if violations are found (or, with --expect-violations,
    if the count differs from N — the fixture self-test). Under
-   GITHUB_ACTIONS, violations also print ::error workflow annotations. *)
+   GITHUB_ACTIONS, violations also print ::error workflow annotations.
+   With --json, a hohtx-diag/1 document (the same schema hohtx_verify
+   emits) is printed on stdout. *)
+
+module Vdiag = Verify.Vdiag
 
 let violations = ref 0
 let annotate = ref false
+let json = ref false
+let collected : Vdiag.t list ref = ref []
 
 let report ~loc ~rule msg =
   incr violations;
@@ -36,19 +44,41 @@ let report ~loc ~rule msg =
   let file = pos.Lexing.pos_fname in
   let line = pos.Lexing.pos_lnum in
   let col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol in
-  Printf.eprintf "%s:%d:%d: [%s] %s\n" file line col rule msg;
+  collected :=
+    { Vdiag.rule; file; line; col; message = msg; path = []; fn = "" }
+    :: !collected;
+  if not !json then
+    Printf.eprintf "%s:%d:%d: [%s] %s\n" file line col rule msg;
   if !annotate then
     Printf.printf "::error file=%s,line=%d,col=%d::[%s] %s\n" file line col
       rule msg
 
+(* Local module aliases seen in the current file: "H" -> "Hoh". Filled
+   per file before the rule walk; lookups chase alias-of-alias chains
+   with a depth bound so a (pathological) cycle cannot hang the lint. *)
+let module_aliases : (string, string) Hashtbl.t = Hashtbl.create 8
+
+let resolve_mod m =
+  let rec go depth m =
+    if depth = 0 then m
+    else
+      match Hashtbl.find_opt module_aliases m with
+      | Some m' when m' <> m -> go (depth - 1) m'
+      | _ -> m
+  in
+  go 8 m
+
 let rec last_mod = function
   | Longident.Lident m -> Some m
   | Longident.Ldot (_, m) -> Some m
-  | Longident.Lapply (_, l) -> last_mod l
+  (* [F(X).v]: the functor head names the operation's module, not the
+     argument — [H(X).apply] must still resolve through alias H. *)
+  | Longident.Lapply (f, _) -> last_mod f
 
-(* The module component right above the value: [Rr.Hoh.apply] -> "Hoh". *)
+(* The module component right above the value, through local aliases:
+   [Rr.Hoh.apply] -> "Hoh"; [module H = Hoh] makes [H.apply] -> "Hoh". *)
 let parent_mod = function
-  | Longident.Ldot (p, _) -> last_mod p
+  | Longident.Ldot (p, _) -> Option.map resolve_mod (last_mod p)
   | _ -> None
 
 let lid_last = function
@@ -73,10 +103,23 @@ let node_modules = [ "Lnode"; "Snode"; "Tnode" ]
 
 (* Known non-tvar atomics: node generation / publication state in the
    structures, the service layer's shard-gate words and reader counts,
-   and its router statistics counters. *)
+   and its router statistics counters; plus the engine's own metadata
+   words in lib/tm and lib/reclaim — the middle lock, the global clock
+   cell, hazard announcements and reclamation backlog counters — which
+   are the implementation of the transactional machinery, not payloads
+   going around it. *)
 let benign_atomic_fields =
   [ "gen"; "pstate"; "word"; "readers"; "singles"; "batches"; "multis";
-    "multi_aborts"; "recovered" ]
+    "multi_aborts"; "recovered";
+    (* engine metadata (lib/tm, lib/reclaim) *)
+    "lock"; "cell"; "global"; "announce"; "retired_total"; "backlog";
+    "max_backlog"; "advances";
+    (* worker-pool queue state and stats (lib/service/pool.ml) *)
+    "head"; "tail"; "depth"; "max_depth"; "sleeping"; "stop"; "c_done";
+    "lag_ns"; "svc_p99_ns"; "shed_low"; "shed_high"; "deferred";
+    "drained_reqs"; "drained_batches";
+    (* hot-key cache epochs and counters (lib/service/hotcache.ml) *)
+    "epoch"; "hits"; "misses"; "invalidations"; "last_write" ]
 
 open Parsetree
 
@@ -164,7 +207,40 @@ let mentions_current_txn vb =
   it.value_binding it vb;
   !found
 
+(* Pass 1: collect [module H = Path] aliases anywhere in the file (the
+   table is keyed on the alias name only — a lint-grade approximation
+   of scoping that errs toward reporting). *)
+let collect_aliases str =
+  Hashtbl.reset module_aliases;
+  let note name lid =
+    match last_mod lid with
+    | Some target -> Hashtbl.replace module_aliases name target
+    | None -> ()
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      module_binding =
+        (fun self mb ->
+          (match (mb.pmb_name.txt, mb.pmb_expr.pmod_desc) with
+          | Some name, Pmod_ident { txt = lid; _ } -> note name lid
+          | _ -> ());
+          Ast_iterator.default_iterator.module_binding self mb);
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_letmodule
+              ({ txt = Some name; _ }, { pmod_desc = Pmod_ident { txt = lid; _ }; _ }, _)
+            ->
+              note name lid
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.structure it str
+
 let check_structure str =
+  collect_aliases str;
   let it =
     {
       Ast_iterator.default_iterator with
@@ -195,6 +271,9 @@ let () =
     | "--expect-violations" :: n :: rest ->
         expect := int_of_string n;
         parse_args rest
+    | "--json" :: rest ->
+        json := true;
+        parse_args rest
     | f :: rest ->
         files := f :: !files;
         parse_args rest
@@ -210,6 +289,10 @@ let () =
           incr violations;
           Printf.eprintf "%s: [parse] %s\n" f (Printexc.to_string e))
     (List.rev !files);
+  if !json then
+    print_endline
+      (Vdiag.to_json ~tool:"hohtx_lint" ~alias:"@lint"
+         (List.rev !collected) []);
   if !expect >= 0 then begin
     if !violations <> !expect then begin
       Printf.eprintf

@@ -1,0 +1,24 @@
+(* Seeded violations hidden behind local module aliases and a functor
+   application — the blind spot the lint's alias resolution closes. Each
+   line marked BAD must be reported; parsed only, never compiled. *)
+
+module H = Hoh
+module T = Tm
+module P = Mempool
+module N = Lnode
+module A = Atomic
+module H2 = H (* alias-of-alias chains resolve too *)
+
+(* BAD site-label: aliased entry points without ~site *)
+let no_site_hoh () = H.apply (fun _win -> ())
+let no_site_tm () = T.atomic (fun _txn -> ())
+let no_site_chain () = H2.run (fun _win -> ())
+
+(* BAD free-discipline: aliased Mempool.free outside Tm.defer *)
+let raw_free n = P.free n
+
+(* BAD pool-alloc: aliased bare constructor bypasses the pool *)
+let bare_make k = N.make k
+
+(* BAD raw-atomic: aliased Atomic on a tvar payload field *)
+let raw_store n v = A.set n.next v

@@ -1,0 +1,12 @@
+(* HV007: the middle lock is still held when the exception escapes. The
+   acquire/release stubs mirror tm.ml's internal middle-path primitives,
+   which the verifier recognizes by name. *)
+
+let middle_acquire (m : Tm.Middle.t) = ignore m
+let middle_release (m : Tm.Middle.t) = ignore m
+
+let bad_lock_leak (m : Tm.Middle.t) (t : int Tm.tvar) =
+  middle_acquire m;
+  if Tm.peek t = 0 then failwith "empty";
+  (* ^ exception edge leaves the lock held *)
+  middle_release m

@@ -1,0 +1,10 @@
+open Structs
+
+(* HV004: the window commits with its reservation neither released,
+   revoked, nor handed over. *)
+
+let bad_resv_leak (t : Lnode.t Tm.tvar) (ops : Lnode.t Rr.ops) =
+  Tm.atomic (fun txn ->
+      let n = Tm.read txn t in
+      ops.Rr.reserve txn n;
+      Tm.read txn n.Lnode.key)

@@ -1,0 +1,19 @@
+open Structs
+
+(* Differential fixture for DESIGN.md bug #2 (use-after-free): a
+   list-remove that reclaims the unlinked node directly inside the window
+   — no revoke, no deferral — exactly the seeded TxSan bug, decided
+   statically. *)
+
+let remove_bad (pool : Lnode.t Mempool.t) (head : Lnode.t option Tm.tvar)
+    k =
+  Tm.atomic (fun txn ->
+      match Tm.read txn head with
+      | None -> false
+      | Some curr ->
+          if Tm.read txn curr.Lnode.key = k then begin
+            Tm.write txn head (Tm.read txn curr.Lnode.next);
+            Mempool.free pool ~thread:0 curr;
+            true
+          end
+          else false)

@@ -1,0 +1,8 @@
+open Structs
+
+(* HV002: dereference of a node after it went back to the pool. *)
+
+let bad_use_after_free (pool : Lnode.t Mempool.t) =
+  let n = Lnode.alloc pool ~thread:0 in
+  Mempool.free pool ~thread:0 n;
+  Tm.peek n.Lnode.key

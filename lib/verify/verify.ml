@@ -1,0 +1,167 @@
+(* Driver: load .cmt typedtrees, compute bottom-up summaries, then run
+   the diagnostic pass.
+
+   Files are analyzed in the order given (the dune rules list them in
+   dependency order: tm → mempool → core → reclaim → structs). The
+   summary pass runs twice so intra- and cross-module recursion reaches
+   its (tiny) fixpoint before anything is reported; the per-file
+   [ref_accum] tables also persist across passes, which is what lets a
+   window entry age a ref cell by the join of every assignment anywhere
+   in the enclosing function, not just the ones already seen. *)
+
+open Typedtree
+
+(* re-export the analysis modules through the library's main module *)
+module Vdiag = Vdiag
+module Vsarif = Vsarif
+module Vsummary = Vsummary
+module Vanalyze = Vanalyze
+
+type file = {
+  f_path : string;
+  f_modname : string;
+  f_structure : structure;
+  f_ref_accum : (string, Vanalyze.nstate * Vanalyze.prov) Hashtbl.t;
+}
+
+let load_cmt path =
+  let cmt = Cmt_format.read_cmt path in
+  match cmt.Cmt_format.cmt_annots with
+  | Cmt_format.Implementation str ->
+      Some
+        {
+          f_path = path;
+          f_modname = Vanalyze.strip_prefix cmt.Cmt_format.cmt_modname;
+          f_structure = str;
+          f_ref_accum = Hashtbl.create 16;
+        }
+  | _ -> None
+
+let mk_ctx ~modname ~ref_accum ~out : Vanalyze.ctx =
+  {
+    Vanalyze.in_txn = false;
+    free_ok = false;
+    no_txn = false;
+    trusted = false;
+    fname = "";
+    modname;
+    trace = [];
+    handler = None;
+    summary = Vsummary.create ~arity:0;
+    locals = Hashtbl.create 32;
+    ref_accum;
+    out;
+  }
+
+let rec analyze_module_expr ctx env (me : module_expr) =
+  match me.mod_desc with
+  | Tmod_structure str -> analyze_structure ctx env str
+  | Tmod_constraint (me, _, _, _) -> analyze_module_expr ctx env me
+  | Tmod_functor (_, me) -> analyze_module_expr ctx env me
+  | _ -> env
+
+and analyze_structure ctx env (str : structure) =
+  List.fold_left (analyze_item ctx) env str.str_items
+
+and analyze_item ctx env (item : structure_item) =
+  match item.str_desc with
+  | Tstr_value (_, vbs) ->
+      List.fold_left
+        (fun env (vb : value_binding) ->
+          match (vb.vb_pat.pat_desc, vb.vb_expr.exp_desc) with
+          | Tpat_var (id, _), Texp_function _ ->
+              let name = Ident.name id in
+              let ctx =
+                match Vanalyze.trusted_attr vb.vb_attributes with
+                | Some (aloc, reason) ->
+                    let aloc =
+                      if aloc = Location.none then vb.vb_loc else aloc
+                    in
+                    if ctx.Vanalyze.out.Vanalyze.emit then begin
+                      let file, line, _ = Vanalyze.loc_pos aloc in
+                      match reason with
+                      | Some r ->
+                          ctx.Vanalyze.out.Vanalyze.sups <-
+                            { Vdiag.s_file = file; s_line = line; reason = r }
+                            :: ctx.Vanalyze.out.Vanalyze.sups
+                      | None ->
+                          ctx.Vanalyze.out.Vanalyze.diags <-
+                            {
+                              Vdiag.rule = "trusted-without-reason";
+                              file;
+                              line;
+                              col = 0;
+                              message =
+                                "[@hohtx.trusted] must carry a reason \
+                                 string explaining why the verifier is \
+                                 being waved through";
+                              path = [];
+                              fn = name;
+                            }
+                            :: ctx.Vanalyze.out.Vanalyze.diags
+                    end;
+                    if reason <> None then
+                      { ctx with Vanalyze.trusted = true }
+                    else ctx
+                | None -> ctx
+              in
+              let s = Vanalyze.analyze_lambda ctx env ~name vb.vb_expr in
+              Vsummary.record ~modname:ctx.Vanalyze.modname ~name s;
+              env
+          | _ -> Vanalyze.analyze_binding ctx env vb)
+        env vbs
+  | Tstr_module mb -> analyze_module_binding ctx env mb
+  | Tstr_recmodule mbs ->
+      List.fold_left (analyze_module_binding ctx) env mbs
+  | Tstr_eval (e, _) -> fst (Vanalyze.analyze_expr ctx env e)
+  | _ -> env
+
+and analyze_module_binding ctx env (mb : module_binding) =
+  let sub =
+    match mb.mb_id with
+    | Some id -> Ident.name id
+    | None -> ctx.Vanalyze.modname
+  in
+  (* inner module: its bindings key under the inner module's own name,
+     which is how [Path.Pdot] call sites resolve them (Hoh.Window.spend
+     has parent "Window") *)
+  ignore (analyze_module_expr { ctx with Vanalyze.modname = sub } env mb.mb_expr);
+  env
+
+let analyze_file ~out (f : file) =
+  let ctx = mk_ctx ~modname:f.f_modname ~ref_accum:f.f_ref_accum ~out in
+  ignore (analyze_structure ctx Vanalyze.empty_env f.f_structure)
+
+(* Run the whole thing; returns (diags, sups) sorted by position. *)
+let run paths =
+  Vsummary.reset ();
+  let files = List.filter_map load_cmt paths in
+  let silent = { Vanalyze.diags = []; sups = []; emit = false } in
+  (* two summary passes for recursion/late bindings *)
+  List.iter (analyze_file ~out:silent) files;
+  List.iter (analyze_file ~out:silent) files;
+  let out = { Vanalyze.diags = []; sups = []; emit = true } in
+  List.iter (analyze_file ~out) files;
+  let cmp_pos (a : Vdiag.t) (b : Vdiag.t) =
+    match compare a.Vdiag.file b.Vdiag.file with
+    | 0 -> compare (a.Vdiag.line, a.Vdiag.col) (b.Vdiag.line, b.Vdiag.col)
+    | c -> c
+  in
+  (* The same protocol fault often trips two detectors on one line (the
+     field read and the builtin that consumed it); one report per
+     (file, line, rule) is the useful granularity. *)
+  let diags =
+    List.sort_uniq
+      (fun a b ->
+        match compare a.Vdiag.file b.Vdiag.file with
+        | 0 -> (
+            match compare a.Vdiag.line b.Vdiag.line with
+            | 0 -> compare a.Vdiag.rule b.Vdiag.rule
+            | c -> c)
+        | c -> c)
+      (List.sort cmp_pos out.Vanalyze.diags)
+  in
+  let sups =
+    List.sort_uniq compare out.Vanalyze.sups
+  in
+  (diags, sups)
