@@ -101,25 +101,48 @@ let has_site args =
 
 let node_modules = [ "Lnode"; "Snode"; "Tnode" ]
 
-(* Known non-tvar atomics: node generation / publication state in the
-   structures, the service layer's shard-gate words and reader counts,
-   and its router statistics counters; plus the engine's own metadata
-   words in lib/tm and lib/reclaim — the middle lock, the global clock
-   cell, hazard announcements and reclamation backlog counters — which
-   are the implementation of the transactional machinery, not payloads
-   going around it. *)
+(* Known non-tvar atomics, scoped per source file (by basename) so a
+   generic name like [head] or [epoch] appearing on some future record in
+   payload code is NOT silently exempt — each entry whitelists exactly the
+   engine/metadata words that one module owns: node generation and
+   publication state in the structures, the service layer's shard-gate
+   words and statistics counters, the TM's version-lock words, and the
+   reclaimers' epoch/hazard bookkeeping. A raw [Atomic] field anywhere
+   else must either go through [Tm] or earn its own row here. *)
+let node_meta = [ "gen"; "pstate" ]
+
 let benign_atomic_fields =
-  [ "gen"; "pstate"; "word"; "readers"; "singles"; "batches"; "multis";
-    "multi_aborts"; "recovered";
-    (* engine metadata (lib/tm, lib/reclaim) *)
-    "lock"; "cell"; "global"; "announce"; "retired_total"; "backlog";
-    "max_backlog"; "advances";
-    (* worker-pool queue state and stats (lib/service/pool.ml) *)
-    "head"; "tail"; "depth"; "max_depth"; "sleeping"; "stop"; "c_done";
-    "lag_ns"; "svc_p99_ns"; "shed_low"; "shed_high"; "deferred";
-    "drained_reqs"; "drained_batches";
-    (* hot-key cache epochs and counters (lib/service/hotcache.ml) *)
-    "epoch"; "hits"; "misses"; "invalidations"; "last_write" ]
+  [ (* node records: generation counters and pool publication state *)
+    ("lnode.ml", node_meta); ("snode.ml", node_meta);
+    ("tnode.ml", node_meta);
+    (* structures read the generation word for their reservation checks *)
+    ("hoh_list.ml", [ "gen" ]); ("hoh_dlist.ml", [ "gen" ]);
+    ("hoh_skiplist.ml", [ "gen" ]); ("hoh_hashset.ml", [ "gen" ]);
+    ("hoh_bst_ext.ml", [ "gen" ]); ("hoh_bst_int.ml", [ "gen" ]);
+    (* TM engine: tvar version-lock and cell words *)
+    ("tm.ml", [ "lock"; "cell" ]);
+    (* reclaimers: epoch announcements and backlog counters *)
+    ( "epoch.ml",
+      [ "global"; "announce"; "retired_total"; "backlog"; "max_backlog";
+        "advances" ] );
+    ("hazard.ml", [ "retired_total"; "backlog"; "max_backlog" ]);
+    (* service shard gate and router statistics *)
+    ( "service.ml",
+      [ "word"; "readers"; "singles"; "batches"; "multis"; "multi_aborts";
+        "recovered" ] );
+    (* worker-pool queue state and stats *)
+    ( "pool.ml",
+      [ "head"; "tail"; "depth"; "max_depth"; "sleeping"; "stop"; "c_done";
+        "lag_ns"; "svc_p99_ns"; "shed_low"; "shed_high"; "deferred";
+        "drained_reqs"; "drained_batches" ] );
+    (* hot-key cache epochs and counters *)
+    ( "hotcache.ml",
+      [ "epoch"; "hits"; "misses"; "invalidations"; "last_write" ] ) ]
+
+let is_benign_field ~file fld =
+  match List.assoc_opt (Filename.basename file) benign_atomic_fields with
+  | Some fields -> List.mem fld fields
+  | None -> false
 
 open Parsetree
 
@@ -144,7 +167,10 @@ let rec check_expr ctx e =
           | Some (_, { pexp_desc = Pexp_field (_, { txt = fld; _ }); _ })
             when not
                    (match lid_last fld with
-                   | Some f -> List.mem f benign_atomic_fields
+                   | Some f ->
+                       is_benign_field
+                         ~file:e.pexp_loc.Location.loc_start.Lexing.pos_fname
+                         f
                    | None -> false) ->
               report ~loc:e.pexp_loc ~rule:"raw-atomic"
                 (Printf.sprintf

@@ -726,7 +726,6 @@ and analyze_binding ctx env (vb : value_binding) =
 (* ---- matches ---- *)
 
 and analyze_match ctx env e scrut (cases : computation case list) =
-  let env, sval = analyze_expr ctx env scrut in
   let acc = { x_envs = []; x_traces = [] } in
   let has_exn_case =
     List.exists
@@ -737,6 +736,15 @@ and analyze_match ctx env e scrut (cases : computation case list) =
         | _ -> false)
       cases
   in
+  (* one scrutinee run, under the handler when an exception case exists:
+     x_envs must snapshot the state at each raise point, not the
+     post-success state — a callee's Get upgrade performed on the success
+     path must not leak into the exception branch *)
+  let pre_env = env in
+  let scrut_ctx =
+    if has_exn_case then { ctx with handler = Some acc } else ctx
+  in
+  let env, sval = analyze_expr scrut_ctx pre_env scrut in
   let branch (accenv, accval) (c : computation case) =
     let lbl =
       Printf.sprintf "match case at line %d" (lline c.c_rhs.exp_loc)
@@ -766,19 +774,20 @@ and analyze_match ctx env e scrut (cases : computation case list) =
       if sval = Acurtxn && is_none_case then { bctx with no_txn = true }
       else bctx
     in
+    let is_exn_case =
+      match c.c_lhs.pat_desc with Tpat_exception _ -> true | _ -> false
+    in
+    (* exception cases enter with the raise-point envs (joined with the
+       pre-scrutinee snapshot), never with the scrutinee's success state *)
+    let benv =
+      if is_exn_case then List.fold_left join_env pre_env acc.x_envs
+      else benv
+    in
     let benv = bind_pattern bctx benv c.c_lhs sval in
     let benv =
       match c.c_guard with
       | Some g -> fst (analyze_expr bctx benv g)
       | None -> benv
-    in
-    let is_exn_case =
-      match c.c_lhs.pat_desc with Tpat_exception _ -> true | _ -> false
-    in
-    let benv =
-      if is_exn_case then
-        List.fold_left join_env benv acc.x_envs
-      else benv
     in
     let bctx =
       if is_exn_case then
@@ -789,14 +798,6 @@ and analyze_match ctx env e scrut (cases : computation case list) =
     match accenv with
     | None -> (Some benv, bval)
     | Some a -> (Some (join_env ~right:lbl a benv), join_aval accval bval)
-  in
-  let scrut_ctx =
-    if has_exn_case then { ctx with handler = Some acc } else ctx
-  in
-  (* re-run scrutinee under the handler so its raise points feed the
-     exception cases (cheap: scrutinees are small) *)
-  let env =
-    if has_exn_case then fst (analyze_expr scrut_ctx env scrut) else env
   in
   match List.fold_left branch (None, Abot) cases with
   | Some benv, bval -> (benv, bval)
@@ -1313,7 +1314,10 @@ and apply_summary ctx env (e : expression) (s : Vsummary.t) args =
             | Vsummary.Sfresh -> join_state acc Fresh
             | Vsummary.Sshared -> join_state acc Shared
             | Vsummary.Sparam i -> (
-                (* state of the i-th node argument *)
+                (* state of the i-th node argument *after* the callee's
+                   effects: a helper that checks and returns its parameter
+                   must yield a Checked result, not the stale pre-call
+                   (possibly Carried) state from the argument list *)
                 let cur = ref (-1) in
                 let st = ref Nunknown in
                 List.iter
@@ -1323,7 +1327,21 @@ and apply_summary ctx env (e : expression) (s : Vsummary.t) args =
                         match node_of_type a.exp_type with
                         | `Node _ | `Opt _ ->
                             incr cur;
-                            if !cur = i then st := state_of_aval v
+                            if !cur = i then
+                              st :=
+                                (match ident_of a with
+                                | Some id -> (
+                                    match IM.find_opt id !env.vals with
+                                    | Some pv -> state_of_aval pv
+                                    | None -> state_of_aval v)
+                                | None -> (
+                                    (* non-ident argument: the env holds no
+                                       binding to read back, so apply the
+                                       row's upgrade directly *)
+                                    match Vsummary.param s i with
+                                    | Some pt when pt.Vsummary.checks ->
+                                        Checked
+                                    | _ -> state_of_aval v))
                         | `No -> ())
                     | None -> ())
                   args;

@@ -159,18 +159,25 @@ let parse_expect_file path =
 
 let expect_key d = (Filename.basename d.file, d.line, d.rule)
 
-(* Compare found diagnostics against an expectation set; returns the
-   mismatches as human-readable lines (empty = exact match). *)
+(* Compare found diagnostics against an expectation multiset; returns the
+   mismatches as human-readable lines (empty = exact match). Counted, not
+   set-membership: a rule regressing from firing twice to once on the same
+   line must be caught, and duplicate expect lines must be earned. *)
 let check_expect expected diags =
   let found = List.map expect_key diags in
-  let missing =
-    List.filter (fun e -> not (List.mem e found)) expected
-  and unexpected =
-    List.filter (fun f -> not (List.mem f expected)) found
-  in
-  List.map
-    (fun (f, l, r) -> Printf.sprintf "missing expected %s:%d:%s" f l r)
-    missing
-  @ List.map
-      (fun (f, l, r) -> Printf.sprintf "unexpected %s:%d:%s" f l r)
-      unexpected
+  let count k l = List.length (List.filter (( = ) k) l) in
+  List.concat_map
+    (fun ((f, l, r) as k) ->
+      let want = count k expected and got = count k found in
+      if got < want then
+        [
+          Printf.sprintf "missing expected %s:%d:%s (want %d, got %d)" f l
+            r want got;
+        ]
+      else if got > want then
+        [
+          Printf.sprintf "unexpected %s:%d:%s (want %d, got %d)" f l r want
+            got;
+        ]
+      else [])
+    (List.sort_uniq compare (expected @ found))
